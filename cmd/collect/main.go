@@ -1,0 +1,115 @@
+// Command collect runs the attack's offline phase (§3.2/§6): it emulates
+// every typable key on a simulated device of the requested configuration,
+// trains the per-configuration classifier, and writes it as JSON — the
+// artifact the attacking application preloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpuleak/internal/android"
+	"gpuleak/internal/attack"
+	"gpuleak/internal/keyboard"
+	"gpuleak/internal/victim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("collect: ")
+
+	device := flag.String("device", "OnePlus 8 Pro", "victim device model")
+	kb := flag.String("keyboard", "gboard", "on-screen keyboard (gboard, swift, sogou, pinyin, go, grammarly)")
+	app := flag.String("app", "Chase", "target application for the login scene")
+	repeats := flag.Int("repeats", 3, "presses per key during collection")
+	out := flag.String("o", "", "output file (default: model-<device>-<keyboard>.json)")
+	bundleAll := flag.Bool("bundle", false, "train every known device at this keyboard/app and write one bundle")
+	flag.Parse()
+
+	layout := keyboard.ByName(*kb)
+	if layout == nil {
+		log.Fatalf("unknown keyboard %q", *kb)
+	}
+	target, ok := android.AppByName(*app)
+	if !ok {
+		log.Fatalf("unknown app %q", *app)
+	}
+
+	if *bundleAll {
+		var models []*attack.Model
+		for _, d := range android.Devices {
+			cfg := victim.Config{Device: d, Keyboard: layout, App: target, Seed: 1}
+			log.Printf("training %s ...", d.Name)
+			m, err := attack.Collect(cfg, attack.CollectOptions{Repeats: *repeats})
+			if err != nil {
+				log.Fatalf("%s: %v", d.Name, err)
+			}
+			models = append(models, m)
+		}
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("bundle-%s.json", layout.Name)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := attack.WriteBundle(f, models); err != nil {
+			log.Fatalf("writing bundle: %v", err)
+		}
+		st, _ := f.Stat()
+		log.Printf("wrote %s (%d models, %d bytes)", path, len(models), st.Size())
+		return
+	}
+
+	dev, ok := android.DeviceByName(*device)
+	if !ok {
+		log.Fatalf("unknown device %q; known devices:\n%s", *device, deviceList())
+	}
+
+	cfg := victim.Config{Device: dev, Keyboard: layout, App: target, Seed: 1}
+	log.Printf("emulating all key presses on %s / %s / %s ...", dev.Name, layout.Name, target.Name)
+	m, err := attack.Collect(cfg, attack.CollectOptions{Repeats: *repeats})
+	if err != nil {
+		log.Fatalf("offline phase failed: %v", err)
+	}
+	log.Printf("trained: %d key centroids, %d noise signatures, Cth=%.2f",
+		len(m.Keys), len(m.Noise), m.Cth)
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("model-%s-%s.json", sanitize(dev.Name), layout.Name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.WriteJSON(f); err != nil {
+		log.Fatalf("writing model: %v", err)
+	}
+	st, _ := f.Stat()
+	log.Printf("wrote %s (%d bytes)", path, st.Size())
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			r = '-'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+func deviceList() string {
+	s := ""
+	for _, d := range android.Devices {
+		s += "  " + d.Name + "\n"
+	}
+	return s
+}

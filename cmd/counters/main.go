@@ -1,0 +1,57 @@
+// Command counters enumerates the simulated Adreno GPU performance
+// counters the way the paper's §3.3 discovery step does (via the
+// GL_AMD_performance_monitor-style string identifiers), and marks the
+// Table-1 counters the attack selects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuleak/internal/adreno"
+)
+
+func main() {
+	onlySelected := flag.Bool("selected", false, "print only the Table-1 counters the attack uses")
+	flag.Parse()
+
+	selected := map[adreno.CounterKey]bool{}
+	for _, k := range adreno.Selected {
+		selected[k] = true
+	}
+
+	if *onlySelected {
+		fmt.Println("Table-1 counters selected for eavesdropping:")
+		for _, k := range adreno.Selected {
+			s, _ := adreno.CounterString(k)
+			fmt.Printf("  group %-4s (0x%02X)  countable %2d  %s\n",
+				adreno.GroupName(k.Group), k.Group, k.Countable, s)
+		}
+		return
+	}
+
+	fmt.Println("Adreno performance counter enumeration (GetPerfMonitorCounterStringAMD):")
+	total := 0
+	for _, g := range adreno.Groups() {
+		fmt.Printf("group %s (0x%02X):\n", adreno.GroupName(g), g)
+		for _, c := range adreno.CountersInGroup(g) {
+			k := adreno.CounterKey{Group: g, Countable: c}
+			s, ok := adreno.CounterString(k)
+			if !ok {
+				continue
+			}
+			mark := " "
+			if selected[k] {
+				mark = "*"
+			}
+			fmt.Printf("  %s [%2d] %s\n", mark, c, s)
+			total++
+		}
+	}
+	fmt.Printf("\n%d counters; * = overdraw-related counters used by the attack (Table 1)\n", total)
+	if len(adreno.SelectOverdrawCounters()) != adreno.NumSelected {
+		fmt.Fprintln(os.Stderr, "warning: discovery did not find all Table-1 counters")
+		os.Exit(1)
+	}
+}

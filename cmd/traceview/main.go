@@ -1,0 +1,102 @@
+// Command traceview is the defender's forensic lens: it loads a raw
+// counter trace (CSV, as written by attackd -trace) and optionally a
+// classifier model, prints the timeline of counter changes with their
+// classifications, and reports what an attacker holding that model could
+// have recovered. Use it to inspect what a given UI interaction leaks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpuleak/internal/attack"
+
+	"gpuleak/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceview: ")
+
+	tracePath := flag.String("trace", "", "counter trace CSV (required)")
+	modelPath := flag.String("model", "", "classifier model JSON (optional: adds classifications)")
+	deltasOnly := flag.Bool("deltas", false, "print only changes, not every sample")
+	offline := flag.Bool("offline", false, "use whole-trace segmentation instead of the streaming engine")
+	flag.Parse()
+
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.ReadCSV(tf)
+	tf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tr.Interval == 0 && tr.Len() > 1 {
+		tr.Interval = tr.Samples[1].At - tr.Samples[0].At
+	}
+	fmt.Printf("trace: %d samples, %v span, interval %v\n",
+		tr.Len(), tr.Samples[tr.Len()-1].At-tr.Samples[0].At, tr.Interval)
+
+	var m *attack.Model
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err = attack.ReadModel(mf)
+		mf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model: %s (%d keys, %d noise signatures)\n", m.Key, len(m.Keys), len(m.Noise))
+	}
+
+	ds := tr.Deltas()
+	fmt.Printf("changes: %d\n\n", len(ds))
+	if !*deltasOnly {
+		fmt.Println("time        prims      pixels     classification")
+		fmt.Println("----------  ---------  ---------  --------------")
+	}
+	for _, d := range ds {
+		label := ""
+		if m != nil {
+			v := m.ClassifyDenoised(d.V)
+			switch {
+			case v.IsKey:
+				label = fmt.Sprintf("KEY %q (d=%.2f)", v.R, v.Dist)
+			case v.IsNoise:
+				label = fmt.Sprintf("noise:%s", v.Noise)
+			default:
+				label = "unknown"
+			}
+		}
+		fmt.Printf("%-10v  %9.0f  %9.0f  %s\n", d.At, d.V[0], d.V[3], label)
+	}
+
+	if m == nil {
+		return
+	}
+	atk := attack.New(m)
+	atk.Interval = tr.Interval
+	var res *attack.Result
+	if *offline {
+		res, err = atk.EavesdropTraceOffline(tr)
+	} else {
+		res, err = atk.EavesdropTrace(tr)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecoverable credential: %q (%d keys)\n", res.Text, len(res.Keys))
+	if res.EstimatedLength >= 0 {
+		fmt.Printf("input length from echo redraws: %d\n", res.EstimatedLength)
+	}
+}

@@ -1,0 +1,55 @@
+package gpuleak_test
+
+import (
+	"fmt"
+
+	"gpuleak"
+)
+
+// The complete attack pipeline: offline training, a victim typing a
+// credential, and online eavesdropping through the GPU counters.
+func Example() {
+	cfg := gpuleak.VictimConfig{Device: gpuleak.OnePlus8Pro, Seed: 1}
+
+	model, err := gpuleak.Train(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	session := gpuleak.NewVictim(cfg)
+	session.Run(gpuleak.TypeText("hunter2", 7))
+
+	file, err := session.Open()
+	if err != nil {
+		panic(err)
+	}
+	result, err := gpuleak.NewAttack(model).Eavesdrop(file, 0, session.End)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(result.Text)
+	// Output: hunter2
+}
+
+// Installing the post-disclosure SELinux policy blocks the global counter
+// read and with it the whole attack.
+func Example_mitigated() {
+	cfg := gpuleak.VictimConfig{Device: gpuleak.OnePlus8Pro, Seed: 2}
+	model, err := gpuleak.Train(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	session := gpuleak.NewVictim(cfg)
+	session.Run(gpuleak.TypeText("hunter2", 7))
+	session.Device.SetPolicy(gpuleak.GooglePatchPolicy())
+
+	file, err := session.Open()
+	if err != nil {
+		panic(err)
+	}
+	if _, err := gpuleak.NewAttack(model).Eavesdrop(file, 0, session.End); err != nil {
+		fmt.Println("attack blocked")
+	}
+	// Output: attack blocked
+}

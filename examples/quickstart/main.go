@@ -1,0 +1,47 @@
+// Quickstart: the minimal end-to-end use of the gpuleak library — train a
+// classifier, simulate a victim typing a password, eavesdrop it through
+// the GPU performance counter side channel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuleak"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The device configuration under study (OnePlus 8 Pro + GBoard +
+	//    Chase login, the paper's workhorse setup).
+	cfg := gpuleak.VictimConfig{Device: gpuleak.OnePlus8Pro, Seed: 1}
+
+	// 2. Offline phase: on a device the attacker controls, emulate every
+	//    key and learn each popup's counter signature.
+	model, err := gpuleak.Train(cfg)
+	if err != nil {
+		log.Fatalf("offline phase: %v", err)
+	}
+	fmt.Printf("offline phase: learned %d key signatures (Cth=%.1f)\n",
+		len(model.Keys), model.Cth)
+
+	// 3. The victim types a credential into the banking app.
+	session := gpuleak.NewVictim(cfg)
+	session.Run(gpuleak.TypeText("hunter2", 7))
+
+	// 4. Online phase: the unprivileged attacking app opens the GPU
+	//    device file, polls the 11 Table-1 counters every 8 ms, and
+	//    classifies the per-key deltas.
+	file, err := session.Open()
+	if err != nil {
+		log.Fatalf("opening /dev/kgsl-3d0: %v", err)
+	}
+	result, err := gpuleak.NewAttack(model).Eavesdrop(file, 0, session.End)
+	if err != nil {
+		log.Fatalf("eavesdropping: %v", err)
+	}
+
+	fmt.Printf("victim typed : %q\n", session.TypedText())
+	fmt.Printf("eavesdropped : %q\n", result.Text)
+}

@@ -1,0 +1,3 @@
+module gpuleak
+
+go 1.22

@@ -1,0 +1,216 @@
+// Package gpuleak is a research reproduction of "Eavesdropping User
+// Credentials via GPU Side Channels on Smartphones" (Yang, Chen, Huang,
+// Yang, Gao — ASPLOS 2022). It implements the complete attack — reading
+// Qualcomm Adreno GPU performance counters through the KGSL device file
+// and inferring on-screen keyboard input from per-key GPU overdraw — on a
+// faithful simulation of the Android graphics stack, together with the
+// paper's mitigations and its full evaluation suite.
+//
+// The package is the high-level facade. The layers underneath:
+//
+//   - internal/render, internal/adreno, internal/kgsl — the tile-based
+//     GPU, its performance counters, and the ioctl device-file interface;
+//   - internal/keyboard, internal/android, internal/victim — the victim
+//     UI stack: keyboards, login screens, compositor, device models;
+//   - internal/attack — the paper's contribution: offline training,
+//     online inference (Algorithm 1), app-switch and correction handling;
+//   - internal/mitigate — §9 defenses (RBAC policies, obfuscation);
+//   - internal/exp — one runner per paper table/figure.
+//
+// # Quick start
+//
+//	cfg := gpuleak.VictimConfig{Device: gpuleak.OnePlus8Pro, Seed: 1}
+//	model, _ := gpuleak.Train(cfg)                  // offline phase
+//	session := gpuleak.NewVictim(cfg)               // victim device
+//	session.Run(gpuleak.TypeText("hunter2", 1))     // user types
+//	file, _ := session.Open()                       // /dev/kgsl-3d0
+//	result, _ := gpuleak.NewAttack(model).Eavesdrop(file, 0, session.End)
+//	fmt.Println(result.Text)                        // "hunter2"
+//
+// This code exists to let defenders study and quantify the leak; the
+// "hardware" is a simulator and the package cannot read real GPU
+// counters.
+package gpuleak
+
+import (
+	"strings"
+
+	"gpuleak/internal/android"
+	"gpuleak/internal/attack"
+	"gpuleak/internal/exp"
+	"gpuleak/internal/input"
+	"gpuleak/internal/keyboard"
+	"gpuleak/internal/kgsl"
+	"gpuleak/internal/mitigate"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/victim"
+)
+
+// Core types of the attack pipeline.
+type (
+	// VictimConfig selects the simulated device, app, keyboard and
+	// environment of a victim session.
+	VictimConfig = victim.Config
+	// Session is a materialized victim run exposing the GPU device file
+	// and the ground truth.
+	Session = victim.Session
+	// Model is a trained per-configuration classifier.
+	Model = attack.Model
+	// Attack is the attacking application: preloaded models + sampler +
+	// online engine.
+	Attack = attack.Attack
+	// Result is an eavesdropping outcome.
+	Result = attack.Result
+	// OnlineOptions tunes the §5 online engine (and its ablations).
+	OnlineOptions = attack.OnlineOptions
+	// CollectOptions tunes the offline phase.
+	CollectOptions = attack.CollectOptions
+	// MonitorOptions tunes the Figure-4 launch watcher.
+	MonitorOptions = attack.MonitorOptions
+	// MonitorResult reports a monitored eavesdropping run.
+	MonitorResult = attack.MonitorResult
+	// DeviceModel describes a phone.
+	DeviceModel = android.DeviceModel
+	// App is a target application.
+	App = android.App
+	// KeyboardLayout is an on-screen keyboard.
+	KeyboardLayout = keyboard.Layout
+	// Volunteer is a human typing-timing profile.
+	Volunteer = input.Volunteer
+	// Script is a sequence of user actions.
+	Script = input.Script
+	// KGSLFile is an open handle on the GPU device file.
+	KGSLFile = kgsl.File
+	// Time is a simulated timestamp in microseconds.
+	Time = sim.Time
+)
+
+// Devices from the paper's evaluation.
+var (
+	LGV30       = android.LGV30
+	Pixel2      = android.Pixel2
+	OnePlus7Pro = android.OnePlus7Pro
+	OnePlus8Pro = android.OnePlus8Pro
+	OnePlus9    = android.OnePlus9
+	GalaxyS21   = android.GalaxyS21
+	Pixel5      = android.Pixel5
+)
+
+// Target applications.
+var (
+	Chase    = android.Chase
+	Amex     = android.Amex
+	Fidelity = android.Fidelity
+	Schwab   = android.Schwab
+	MyFICO   = android.MyFICO
+	Experian = android.Experian
+	PNC      = android.PNC
+)
+
+// Keyboards.
+var (
+	GBoard    = keyboard.GBoard
+	SwiftKey  = keyboard.Swift
+	Sogou     = keyboard.Sogou
+	Pinyin    = keyboard.Pinyin
+	GoBoard   = keyboard.Go
+	Grammarly = keyboard.Grammarly
+)
+
+// Volunteers are the five §7 typing profiles.
+var Volunteers = input.Volunteers
+
+// NewVictim creates a victim device session. Call Session.Run with a
+// Script, then Session.Open to obtain the device file the attacker reads.
+func NewVictim(cfg VictimConfig) *Session { return victim.New(cfg) }
+
+// Train runs the offline phase on a controlled device of the given
+// configuration and returns the classifier to preload into the attack.
+func Train(cfg VictimConfig) (*Model, error) {
+	return attack.Collect(cfg, attack.CollectOptions{})
+}
+
+// TrainWith runs the offline phase with explicit options.
+func TrainWith(cfg VictimConfig, opts CollectOptions) (*Model, error) {
+	return attack.Collect(cfg, opts)
+}
+
+// NewAttack builds an attacking application from preloaded models.
+func NewAttack(models ...*Model) *Attack { return attack.New(models...) }
+
+// TypeText builds a plain typing script using the first volunteer's
+// timing, starting 0.7 s after app launch.
+func TypeText(text string, seed int64) Script {
+	return input.Typing(text, input.Volunteers[0], input.SpeedAny,
+		sim.NewRand(seed), 700*sim.Millisecond)
+}
+
+// PracticalSession builds a §8-style session: typing with corrections,
+// app switches and notification glances.
+func PracticalSession(text string, v Volunteer, seed int64) Script {
+	rng := sim.NewRand(seed)
+	return input.Practical(text, v, input.DefaultPracticalOptions(), rng, 700*sim.Millisecond)
+}
+
+// Mitigations (§9).
+
+// NewRBACPolicy returns the §9.2 SELinux-style role-based access control
+// policy; install it with Session.Device.SetPolicy to block the attack.
+func NewRBACPolicy() *mitigate.RBACPolicy { return mitigate.NewRBACPolicy() }
+
+// NewObfuscator returns the §9.3 counter obfuscator; install it with
+// Session.Device.SetObfuscator. Amplitude 1 injects key-press-sized noise.
+func NewObfuscator(amplitude float64, seed uint64) *mitigate.NoiseObfuscator {
+	return &mitigate.NoiseObfuscator{Amplitude: amplitude, Seed: seed}
+}
+
+// NewSELinuxPolicy compiles a §9.2 ioctl-whitelist policy document; see
+// mitigate.GooglePatchPolicy for the rule syntax and the shipped fix.
+func NewSELinuxPolicy(doc string) (*mitigate.IoctlPolicy, error) {
+	return mitigate.ParsePolicy(strings.NewReader(doc))
+}
+
+// GooglePatchPolicy returns the compiled shape of the post-disclosure
+// Android fix: apps keep the ioctls the GL driver needs but lose the
+// global PERFCOUNTER_READ.
+func GooglePatchPolicy() *mitigate.IoctlPolicy {
+	return mitigate.NewGooglePatchPolicy()
+}
+
+// Experiments exposes the paper's evaluation suite (one runner per table
+// and figure); see the exp package for the registry.
+type Experiment = exp.Experiment
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []Experiment { return exp.All }
+
+// RunExperiment executes one experiment by figure/table ID ("fig17",
+// "table2", ...). quick shrinks trial counts for fast runs.
+func RunExperiment(id string, quick bool, seed int64) (*exp.Result, error) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return e.Run(exp.Options{Quick: quick, Seed: seed})
+}
+
+// UnknownExperimentError reports a bad experiment ID.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "gpuleak: unknown experiment " + e.ID
+}
+
+// PracticalSessionAt is PracticalSession with an explicit start time
+// (e.g. after a PreLaunch foreign-use phase).
+func PracticalSessionAt(text string, v Volunteer, seed int64, start Time) Script {
+	rng := sim.NewRand(seed)
+	return input.Practical(text, v, input.DefaultPracticalOptions(), rng, start)
+}
+
+// NewSamplerOn reserves the Table-1 counters on a device file and returns
+// the 8 ms sampler, for callers that want the raw trace (forensics,
+// offline segmentation).
+func NewSamplerOn(f *KGSLFile) (*attack.Sampler, error) {
+	return attack.NewSampler(f, attack.DefaultInterval)
+}

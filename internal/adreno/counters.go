@@ -1,0 +1,208 @@
+// Package adreno models a Qualcomm Adreno mobile GPU at the level the
+// paper's side channel observes it: a register file of global performance
+// counters fed by the tile renderer, advanced over simulated time as
+// frames draw. It also provides the GL_AMD_performance_monitor-style
+// counter enumeration the paper uses to discover counter names (§3.3).
+package adreno
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group IDs as specified in msm_kgsl.h (§4, Figure 9 of the paper).
+const (
+	GroupCP   uint32 = 0x0
+	GroupRBBM uint32 = 0x1
+	GroupPC   uint32 = 0x2
+	GroupVFD  uint32 = 0x3
+	GroupHLSQ uint32 = 0x4
+	GroupVPC  uint32 = 0x5 // KGSL_PERFCOUNTER_GROUP_VPC
+	GroupTSE  uint32 = 0x6
+	GroupRAS  uint32 = 0x7 // KGSL_PERFCOUNTER_GROUP_RAS
+	GroupUCHE uint32 = 0x8
+	GroupTP   uint32 = 0x9
+	GroupSP   uint32 = 0xA
+	GroupRB   uint32 = 0xB
+	GroupLRZ  uint32 = 0x19 // KGSL_PERFCOUNTER_GROUP_LRZ
+)
+
+// CounterKey identifies a performance counter: a group plus a countable
+// (the per-group counter ID used by IOCTL_KGSL_PERFCOUNTER_GET/READ).
+type CounterKey struct {
+	Group     uint32
+	Countable uint32
+}
+
+func (k CounterKey) String() string {
+	return fmt.Sprintf("%s/%d", GroupName(k.Group), k.Countable)
+}
+
+// Table-1 countable IDs within their groups.
+const (
+	LRZVisiblePrimAfterLRZ  uint32 = 13
+	LRZFullTiles8x8         uint32 = 14
+	LRZPartialTiles8x8      uint32 = 15
+	LRZVisiblePixelAfterLRZ uint32 = 18
+
+	RASSupertileActiveCycles uint32 = 1
+	RASSuperTiles            uint32 = 4
+	RASTiles8x4              uint32 = 5
+	RASFullyCovered8x4       uint32 = 8
+
+	VPCPCPrimitives        uint32 = 9
+	VPCSPComponents        uint32 = 10
+	VPCLRZAssignPrimitives uint32 = 12
+)
+
+// Selected is the exact set of 11 counters from Table 1 of the paper, in
+// table order. This is the feature vector the attack observes.
+var Selected = []CounterKey{
+	{GroupLRZ, LRZVisiblePrimAfterLRZ},
+	{GroupLRZ, LRZFullTiles8x8},
+	{GroupLRZ, LRZPartialTiles8x8},
+	{GroupLRZ, LRZVisiblePixelAfterLRZ},
+	{GroupRAS, RASSupertileActiveCycles},
+	{GroupRAS, RASSuperTiles},
+	{GroupRAS, RASTiles8x4},
+	{GroupRAS, RASFullyCovered8x4},
+	{GroupVPC, VPCPCPrimitives},
+	{GroupVPC, VPCSPComponents},
+	{GroupVPC, VPCLRZAssignPrimitives},
+}
+
+// NumSelected is the dimensionality of the attack's feature space.
+const NumSelected = 11
+
+// groupNames maps group IDs to their human-readable block names.
+var groupNames = map[uint32]string{
+	GroupCP: "CP", GroupRBBM: "RBBM", GroupPC: "PC", GroupVFD: "VFD",
+	GroupHLSQ: "HLSQ", GroupVPC: "VPC", GroupTSE: "TSE", GroupRAS: "RAS",
+	GroupUCHE: "UCHE", GroupTP: "TP", GroupSP: "SP", GroupRB: "RB",
+	GroupLRZ: "LRZ",
+}
+
+// GroupName returns the block name for a counter group ID.
+func GroupName(g uint32) string {
+	if n, ok := groupNames[g]; ok {
+		return n
+	}
+	return fmt.Sprintf("GROUP_0x%X", g)
+}
+
+// counterStrings holds the GetPerfMonitorCounterStringAMD identifiers for
+// every counter the simulated driver exposes. The Table-1 counters carry
+// their exact paper names; the remainder are representative of the full
+// Adreno 6xx counter set and exist so enumeration behaves like hardware.
+var counterStrings = map[CounterKey]string{
+	{GroupLRZ, LRZVisiblePrimAfterLRZ}:  "PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ",
+	{GroupLRZ, LRZFullTiles8x8}:         "PERF_LRZ_FULL_8X8_TILES",
+	{GroupLRZ, LRZPartialTiles8x8}:      "PERF_LRZ_PARTIAL_8X8_TILES",
+	{GroupLRZ, LRZVisiblePixelAfterLRZ}: "PERF_LRZ_VISIBLE_PIXEL_AFTER_LRZ",
+	{GroupLRZ, 0}:                       "PERF_LRZ_BUSY_CYCLES",
+	{GroupLRZ, 1}:                       "PERF_LRZ_STARVE_CYCLES_RAS",
+	{GroupLRZ, 2}:                       "PERF_LRZ_STALL_CYCLES_RB",
+	{GroupLRZ, 16}:                      "PERF_LRZ_TILE_KILLED",
+	{GroupLRZ, 17}:                      "PERF_LRZ_TOTAL_PIXEL",
+
+	{GroupRAS, RASSupertileActiveCycles}: "PERF_RAS_SUPERTILE_ACTIVE_CYCLES",
+	{GroupRAS, RASSuperTiles}:            "PERF_RAS_SUPER_TILES",
+	{GroupRAS, RASTiles8x4}:              "PERF_RAS_8X4_TILES",
+	{GroupRAS, RASFullyCovered8x4}:       "PERF_RAS_FULLY_COVERED_8X4_TILES",
+	{GroupRAS, 0}:                        "PERF_RAS_BUSY_CYCLES",
+	{GroupRAS, 2}:                        "PERF_RAS_STALL_CYCLES_LRZ",
+	{GroupRAS, 6}:                        "PERF_RAS_MASKGEN_ACTIVE",
+	{GroupRAS, 9}:                        "PERF_RAS_FULLY_COVERED_SUPER_TILES",
+
+	{GroupVPC, VPCPCPrimitives}:        "PERF_VPC_PC_PRIMITIVES",
+	{GroupVPC, VPCSPComponents}:        "PERF_VPC_SP_COMPONENTS",
+	{GroupVPC, VPCLRZAssignPrimitives}: "PERF_VPC_LRZ_ASSIGN_PRIMITIVES",
+	{GroupVPC, 0}:                      "PERF_VPC_BUSY_CYCLES",
+	{GroupVPC, 1}:                      "PERF_VPC_WORKING_CYCLES",
+	{GroupVPC, 2}:                      "PERF_VPC_STALL_CYCLES_UCHE",
+	{GroupVPC, 11}:                     "PERF_VPC_SP_LM_PRIMITIVES",
+
+	{GroupSP, 0}:   "PERF_SP_BUSY_CYCLES",
+	{GroupSP, 1}:   "PERF_SP_ALU_WORKING_CYCLES",
+	{GroupTP, 0}:   "PERF_TP_BUSY_CYCLES",
+	{GroupTP, 1}:   "PERF_TP_L1_CACHELINE_REQUESTS",
+	{GroupUCHE, 0}: "PERF_UCHE_BUSY_CYCLES",
+	{GroupUCHE, 1}: "PERF_UCHE_READ_REQUESTS_TP",
+	{GroupRB, 0}:   "PERF_RB_BUSY_CYCLES",
+	{GroupRB, 1}:   "PERF_RB_STALL_CYCLES_HLSQ",
+	{GroupPC, 0}:   "PERF_PC_BUSY_CYCLES",
+	{GroupPC, 1}:   "PERF_PC_WORKING_CYCLES",
+	{GroupTSE, 0}:  "PERF_TSE_BUSY_CYCLES",
+	{GroupVFD, 0}:  "PERF_VFD_BUSY_CYCLES",
+	{GroupHLSQ, 0}: "PERF_HLSQ_BUSY_CYCLES",
+	{GroupCP, 0}:   "PERF_CP_ALWAYS_COUNT",
+	{GroupRBBM, 0}: "PERF_RBBM_ALWAYS_COUNT",
+}
+
+// CounterString returns the string identifier for a counter, mirroring
+// GetPerfMonitorCounterStringAMD. ok is false for unknown counters.
+func CounterString(k CounterKey) (string, bool) {
+	s, ok := counterStrings[k]
+	return s, ok
+}
+
+// Groups enumerates the available counter group IDs in ascending order.
+func Groups() []uint32 {
+	set := map[uint32]bool{}
+	for k := range counterStrings {
+		set[k.Group] = true
+	}
+	out := make([]uint32, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountersInGroup enumerates the countable IDs available in a group.
+func CountersInGroup(g uint32) []uint32 {
+	var out []uint32
+	for k := range counterStrings {
+		if k.Group == g {
+			out = append(out, k.Countable)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SelectOverdrawCounters reproduces the paper's §3.3 discovery step:
+// enumerate all counters and keep the ones in the LRZ, RAS and VPC groups
+// whose string identifiers indicate overdraw-related events (Table 1).
+func SelectOverdrawCounters() []CounterKey {
+	want := map[string]bool{
+		"PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ":  true,
+		"PERF_LRZ_FULL_8X8_TILES":          true,
+		"PERF_LRZ_PARTIAL_8X8_TILES":       true,
+		"PERF_LRZ_VISIBLE_PIXEL_AFTER_LRZ": true,
+		"PERF_RAS_SUPERTILE_ACTIVE_CYCLES": true,
+		"PERF_RAS_SUPER_TILES":             true,
+		"PERF_RAS_8X4_TILES":               true,
+		"PERF_RAS_FULLY_COVERED_8X4_TILES": true,
+		"PERF_VPC_PC_PRIMITIVES":           true,
+		"PERF_VPC_SP_COMPONENTS":           true,
+		"PERF_VPC_LRZ_ASSIGN_PRIMITIVES":   true,
+	}
+	var out []CounterKey
+	for _, g := range Groups() {
+		for _, c := range CountersInGroup(g) {
+			k := CounterKey{g, c}
+			if s, _ := CounterString(k); want[s] {
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Countable < out[j].Countable
+	})
+	return out
+}

@@ -1,0 +1,78 @@
+package adreno
+
+import (
+	"testing"
+
+	"gpuleak/internal/render"
+)
+
+func TestPerfMonitorScopedToOwnContext(t *testing.T) {
+	g := NewGPU(A650)
+	// The victim UI (PID 1000) draws a key press popup; the attacker
+	// (PID 4242) draws nothing.
+	g.Submit(Frame{Start: 1000, End: 2000, PID: 1000, Stats: render.FrameStats{
+		VisiblePrimAfterLRZ: 1637, VisiblePixelAfterLRZ: 90000, TotalPixels: 90000,
+	}})
+
+	attacker := g.NewPerfMonitor(4242)
+	if err := attacker.Begin(0); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := attacker.End(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != 0 {
+			t.Fatalf("attacker's local monitor saw foreign work (dim %d = %d): "+
+				"the GL extension must not leak global counters", i, v)
+		}
+	}
+
+	victim := g.NewPerfMonitor(1000)
+	if err := victim.Begin(0); err != nil {
+		t.Fatal(err)
+	}
+	own, err := victim.End(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if own[0] != 1637 {
+		t.Fatalf("victim's own monitor missed its work: %d", own[0])
+	}
+}
+
+func TestPerfMonitorPartialOverlap(t *testing.T) {
+	g := NewGPU(A650)
+	g.Submit(Frame{Start: 1000, End: 3000, PID: 7, Stats: render.FrameStats{
+		VisiblePixelAfterLRZ: 1000, TotalPixels: 1000,
+	}})
+	m := g.NewPerfMonitor(7)
+	if err := m.Begin(0); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := m.End(2000) // halfway through the frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[3] != 500 {
+		t.Fatalf("partial overlap = %d, want 500", vals[3])
+	}
+}
+
+func TestPerfMonitorLifecycleErrors(t *testing.T) {
+	g := NewGPU(A650)
+	m := g.NewPerfMonitor(1)
+	if _, err := m.End(10); err == nil {
+		t.Fatal("End before Begin accepted")
+	}
+	if err := m.Begin(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(5); err == nil {
+		t.Fatal("double Begin accepted")
+	}
+	if _, err := m.End(10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package android
+
+import (
+	"testing"
+
+	"gpuleak/internal/keyboard"
+	"gpuleak/internal/render"
+)
+
+func testComp() *Compositor {
+	return NewCompositor(OnePlus8Pro, FHDPlus, 60, Chase, keyboard.GBoard)
+}
+
+func TestDeviceCatalog(t *testing.T) {
+	if len(Devices) != 7 {
+		t.Fatalf("device count = %d", len(Devices))
+	}
+	d, ok := DeviceByName("OnePlus 8 Pro")
+	if !ok || d.GPU != 650 {
+		t.Fatalf("OnePlus 8 Pro lookup: %+v ok=%v", d, ok)
+	}
+	if _, ok := DeviceByName("Nokia 3310"); ok {
+		t.Fatal("found nonexistent device")
+	}
+	for _, d := range Devices {
+		if len(d.Resolutions) == 0 || len(d.RefreshRates) == 0 {
+			t.Fatalf("%s missing display config", d.Name)
+		}
+	}
+}
+
+func TestStatusBarHeightByVersion(t *testing.T) {
+	prev := 0
+	for _, v := range []int{8, 9, 10, 11} {
+		h := StatusBarHeight(v, FHDPlus)
+		if h < prev {
+			t.Fatalf("status bar shrank on Android %d", v)
+		}
+		prev = h
+	}
+}
+
+func TestTargetApps(t *testing.T) {
+	if len(TargetApps) != 9 {
+		t.Fatalf("target app count = %d, want 9 (Figure 19)", len(TargetApps))
+	}
+	webs := 0
+	for _, a := range TargetApps {
+		if a.Web {
+			webs++
+		}
+	}
+	if webs != 3 {
+		t.Fatalf("web target count = %d, want 3", webs)
+	}
+	if a, ok := AppByName("PNC"); !ok || !a.Animated {
+		t.Fatal("PNC missing or not animated")
+	}
+}
+
+func TestLoginUIFields(t *testing.T) {
+	ui := Chase.BuildLoginUI(FHDPlus, 11)
+	if ui.Username.Empty() || ui.Password.Empty() {
+		t.Fatal("fields empty")
+	}
+	if ui.Username.Overlaps(ui.Password) {
+		t.Fatal("fields overlap")
+	}
+	if ui.Password.Y0 <= ui.Username.Y0 {
+		t.Fatal("password not below username")
+	}
+	if !ui.Scene.Bounds().Contains(ui.Password) {
+		t.Fatal("password escapes screen")
+	}
+	if !Chase.BuildLoginUI(FHDPlus, 11).AnimBand.Empty() {
+		t.Fatal("non-animated app has an animation band")
+	}
+	if PNC.BuildLoginUI(FHDPlus, 11).AnimBand.Empty() {
+		t.Fatal("PNC has no animation band")
+	}
+}
+
+func TestAppsHaveDistinctLaunchSignatures(t *testing.T) {
+	seen := map[render.FrameStats][]string{}
+	for _, a := range TargetApps {
+		c := NewCompositor(OnePlus8Pro, FHDPlus, 60, a, keyboard.GBoard)
+		st := c.LaunchStats()
+		seen[st] = append(seen[st], a.Name)
+	}
+	for st, names := range seen {
+		if len(names) > 1 {
+			t.Fatalf("apps %v share launch signature %v", names, st)
+		}
+	}
+}
+
+func TestVsync(t *testing.T) {
+	c := testComp()
+	if c.VsyncPeriod() != 16666 {
+		t.Fatalf("60Hz vsync = %v", c.VsyncPeriod())
+	}
+	if got := c.AlignVsync(1); got != 16666 {
+		t.Fatalf("AlignVsync(1) = %v", got)
+	}
+	if got := c.AlignVsync(2 * 16666); got != 2*16666 {
+		t.Fatalf("AlignVsync on boundary = %v", got)
+	}
+}
+
+func TestPopupStatsDifferPerKey(t *testing.T) {
+	c := testComp()
+	seen := map[uint64][]rune{}
+	for _, r := range "qwertyuiopasdfghjklzxcvbnm" {
+		st := c.PopupShowStats(keyboard.PageLower, r)
+		if st.IsZero() {
+			t.Fatalf("no stats for %q", r)
+		}
+		seen[st.VisiblePrimAfterLRZ*1_000_003+st.VisiblePixelAfterLRZ] = append(seen[st.VisiblePrimAfterLRZ*1_000_003+st.VisiblePixelAfterLRZ], r)
+	}
+	for k, rs := range seen {
+		if len(rs) > 1 {
+			t.Fatalf("keys %q share popup signature %d", string(rs), k)
+		}
+	}
+}
+
+func TestPopupMagnitudeMatchesPaperScale(t *testing.T) {
+	// Figure 5 reports VISIBLE_PRIM deltas around 1600 for popup frames on
+	// a OnePlus 8 Pro with GBoard. Our model should land within 2x.
+	c := testComp()
+	st := c.PopupShowStats(keyboard.PageLower, 'w')
+	if st.VisiblePrimAfterLRZ < 800 || st.VisiblePrimAfterLRZ > 3500 {
+		t.Fatalf("popup prim delta = %d, want O(1600)", st.VisiblePrimAfterLRZ)
+	}
+}
+
+func TestPopupRepeatable(t *testing.T) {
+	// §3.4: repeated presses of the same key give the same delta.
+	c := testComp()
+	a := c.PopupShowStats(keyboard.PageLower, 'g')
+	b := c.PopupShowStats(keyboard.PageLower, 'g')
+	if a != b {
+		t.Fatal("popup stats not repeatable")
+	}
+}
+
+func TestEchoPlusTwoPrims(t *testing.T) {
+	// Figure 14: the LRZ visible-prim counter increases by exactly 2 per
+	// typed character and decreases by 2 per deletion.
+	c := testComp()
+	for n := 1; n < 16; n++ {
+		prev := c.EchoStats(n-1, false)
+		cur := c.EchoStats(n, false)
+		if cur.VisiblePrimAfterLRZ-prev.VisiblePrimAfterLRZ != 2 {
+			t.Fatalf("echo %d->%d prim delta = %d, want 2", n-1, n,
+				cur.VisiblePrimAfterLRZ-prev.VisiblePrimAfterLRZ)
+		}
+	}
+}
+
+func TestCursorStatsTiny(t *testing.T) {
+	c := testComp()
+	cur := c.CursorStats(5, true)
+	popup := c.PopupShowStats(keyboard.PageLower, 'a')
+	if cur.VisiblePixelAfterLRZ*10 > popup.VisiblePixelAfterLRZ {
+		t.Fatalf("cursor blink too large: %d vs popup %d",
+			cur.VisiblePixelAfterLRZ, popup.VisiblePixelAfterLRZ)
+	}
+}
+
+func TestSwitchFramesBig(t *testing.T) {
+	c := testComp()
+	popup := c.PopupShowStats(keyboard.PageLower, 'a')
+	for i := 0; i < 12; i++ {
+		st := c.SwitchFrameStats(i, 12)
+		if st.VisiblePixelAfterLRZ < popup.VisiblePixelAfterLRZ {
+			t.Fatalf("switch frame %d smaller than a popup", i)
+		}
+	}
+	if c.SwitchFrameStats(0, 12) == c.SwitchFrameStats(6, 12) {
+		t.Fatal("switch animation frames identical")
+	}
+}
+
+func TestNotifStats(t *testing.T) {
+	c := testComp()
+	a := c.NotifStats(1)
+	b := c.NotifStats(3)
+	if a.IsZero() || a == b {
+		t.Fatal("notification stats wrong")
+	}
+}
+
+func TestAnimFramesOnlyForAnimatedApps(t *testing.T) {
+	c := testComp()
+	if !c.AnimFrameStats(3).IsZero() {
+		t.Fatal("non-animated app produced animation frames")
+	}
+	p := NewCompositor(OnePlus8Pro, FHDPlus, 60, PNC, keyboard.GBoard)
+	a := p.AnimFrameStats(3)
+	b := p.AnimFrameStats(9)
+	if a.IsZero() || a == b {
+		t.Fatal("PNC animation frames wrong")
+	}
+}
+
+func TestFrameDurationScalesWithLoad(t *testing.T) {
+	c := testComp()
+	st := c.LaunchStats()
+	idle := c.FrameDuration(st, 0)
+	loaded := c.FrameDuration(st, 0.75)
+	if loaded <= idle {
+		t.Fatal("GPU load did not slow drawing")
+	}
+	if idle < 300 {
+		t.Fatal("duration below floor")
+	}
+}
+
+func TestFrameDurationClamped(t *testing.T) {
+	c := testComp()
+	st := c.LaunchStats()
+	d := c.FrameDuration(st, 5.0) // absurd load clamps
+	if d > c.VsyncPeriod()*3 {
+		t.Fatalf("duration %v exceeds clamp", d)
+	}
+}
+
+func TestResolutionChangesSignature(t *testing.T) {
+	fhd := NewCompositor(OnePlus8Pro, FHDPlus, 60, Chase, keyboard.GBoard)
+	qhd := NewCompositor(OnePlus8Pro, QHDPlus, 60, Chase, keyboard.GBoard)
+	if fhd.PopupShowStats(keyboard.PageLower, 'a') == qhd.PopupShowStats(keyboard.PageLower, 'a') {
+		t.Fatal("resolution does not affect signatures")
+	}
+}
+
+func TestCacheHitsAreStable(t *testing.T) {
+	c := testComp()
+	first := c.LaunchStats()
+	for i := 0; i < 5; i++ {
+		if c.LaunchStats() != first {
+			t.Fatal("cache unstable")
+		}
+	}
+}
+
+func TestLoginUIVariesWithAndroidVersion(t *testing.T) {
+	v9 := Chase.BuildLoginUI(FHDPlus, 9)
+	v11 := Chase.BuildLoginUI(FHDPlus, 11)
+	if v9.StatusBar == v11.StatusBar {
+		t.Fatal("status bar identical across OS versions")
+	}
+	if v9.Password == v11.Password {
+		t.Fatal("field geometry identical across OS versions (status bar should shift it)")
+	}
+}
+
+func TestWithAndroidVersionCopies(t *testing.T) {
+	d := OnePlus8Pro.WithAndroidVersion(9)
+	if d.AndroidVersion != 9 || OnePlus8Pro.AndroidVersion != 11 {
+		t.Fatal("WithAndroidVersion mutated the original")
+	}
+}
+
+func TestKeyboardRedrawStatsPerPage(t *testing.T) {
+	c := testComp()
+	lower := c.KeyboardRedrawStats(keyboard.PageLower)
+	number := c.KeyboardRedrawStats(keyboard.PageNumber)
+	if lower.IsZero() || lower == number {
+		t.Fatal("page redraws not distinct")
+	}
+}

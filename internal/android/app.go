@@ -1,0 +1,164 @@
+package android
+
+import (
+	"gpuleak/internal/geom"
+	"gpuleak/internal/glyph"
+	"gpuleak/internal/render"
+)
+
+// App is a target application with a credential login screen (§3.1).
+type App struct {
+	Name     string
+	Category string
+	// Web marks pages opened in Chrome rather than a native app; the
+	// browser chrome adds layers to the scene.
+	Web bool
+	// Animated marks login screens with decorative animations (the PNC
+	// example of §9.3) that continuously perturb the counters.
+	Animated bool
+
+	// Per-app layout parameters; these make each app's base scene — and
+	// therefore its counter signature — distinct (Figure 19).
+	headerFrac float64 // header height as fraction of screen
+	cardInset  int     // card margin in 1/64ths of screen width
+	fieldFrac  float64 // field height as fraction of screen
+	logo       string  // header logo text
+}
+
+// Target applications from §3.1/§7.1 plus the PNC obfuscation example.
+var (
+	Chase       = &App{Name: "Chase", Category: "banking", headerFrac: 0.16, cardInset: 3, fieldFrac: 0.045, logo: "CHASE"}
+	Amex        = &App{Name: "Amex", Category: "banking", headerFrac: 0.14, cardInset: 4, fieldFrac: 0.050, logo: "AMEX"}
+	Fidelity    = &App{Name: "Fidelity", Category: "investment", headerFrac: 0.18, cardInset: 2, fieldFrac: 0.042, logo: "FIDELITY"}
+	Schwab      = &App{Name: "Schwab", Category: "investment", headerFrac: 0.15, cardInset: 5, fieldFrac: 0.048, logo: "SCHWAB"}
+	MyFICO      = &App{Name: "myFICO", Category: "credit", headerFrac: 0.13, cardInset: 3, fieldFrac: 0.046, logo: "FICO"}
+	Experian    = &App{Name: "Experian", Category: "credit", headerFrac: 0.17, cardInset: 4, fieldFrac: 0.044, logo: "EXPERIAN"}
+	ChaseWeb    = &App{Name: "chase.com", Category: "banking", Web: true, headerFrac: 0.12, cardInset: 2, fieldFrac: 0.040, logo: "CHASE"}
+	SchwabWeb   = &App{Name: "schwab.com", Category: "investment", Web: true, headerFrac: 0.11, cardInset: 3, fieldFrac: 0.041, logo: "SCHWAB"}
+	ExperianWeb = &App{Name: "experian.com", Category: "credit", Web: true, headerFrac: 0.13, cardInset: 4, fieldFrac: 0.043, logo: "EXPERIAN"}
+	PNC         = &App{Name: "PNC", Category: "banking", Animated: true, headerFrac: 0.15, cardInset: 3, fieldFrac: 0.047, logo: "PNC"}
+)
+
+// TargetApps is the Figure-19 evaluation set, in figure order.
+var TargetApps = []*App{Chase, Amex, Fidelity, Schwab, MyFICO, Experian, ChaseWeb, SchwabWeb, ExperianWeb}
+
+// AppByName finds an app by name among all modeled apps.
+func AppByName(name string) (*App, bool) {
+	for _, a := range append(append([]*App{}, TargetApps...), PNC) {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// LoginUI is a realized login screen: the static scene (everything except
+// the keyboard, popup, echo text and cursor, which the compositor owns)
+// plus the geometry the compositor needs to draw those dynamic parts.
+type LoginUI struct {
+	Scene    render.Scene
+	Username geom.Rect
+	Password geom.Rect
+	// EchoCharW is the advance width of echoed characters in the fields.
+	EchoCharW int
+	// AnimBand is the region swept by the decorative animation (empty for
+	// non-animated apps).
+	AnimBand geom.Rect
+	// StatusBar is where notification icons appear.
+	StatusBar geom.Rect
+}
+
+// CursorRect returns the text cursor rectangle after n echoed characters
+// in the password field.
+func (ui *LoginUI) CursorRect(n int) geom.Rect {
+	adv := ui.EchoCharW + ui.EchoCharW/10
+	x := ui.Password.X0 + 8 + n*adv
+	if x > ui.Password.X1-4 {
+		x = ui.Password.X1 - 4
+	}
+	return geom.Rect{X0: x, Y0: ui.Password.Y0 + 6, X1: x + 4, Y1: ui.Password.Y1 - 6}
+}
+
+// EchoLine returns the line box in which echoed characters are laid out.
+func (ui *LoginUI) EchoLine() geom.Rect {
+	return geom.Rect{X0: ui.Password.X0 + 8, Y0: ui.Password.Y0 + 8, X1: ui.Password.X1 - 8, Y1: ui.Password.Y1 - 8}
+}
+
+// BuildLoginUI lays out the app's login screen on the given display. The
+// same app on different resolutions or OS versions yields different
+// geometry, which is why the attack carries one classifier per device
+// configuration (§3.2).
+func (a *App) BuildLoginUI(screen geom.Size, androidVersion int) *LoginUI {
+	ui := &LoginUI{}
+	ui.Scene.Screen = screen
+	full := geom.XYWH(0, 0, screen.W, screen.H)
+
+	// Window background.
+	ui.Scene.Add(render.Layer{Z: 0, Name: "background", Prims: []render.Prim{render.Quad(full, true)}})
+
+	// Status bar.
+	sbH := StatusBarHeight(androidVersion, screen)
+	ui.StatusBar = geom.Rect{X0: 0, Y0: 0, X1: screen.W, Y1: sbH}
+	statusPrims := []render.Prim{render.Quad(ui.StatusBar, true)}
+	// Clock glyphs in the corner.
+	clockBox := geom.Rect{X0: screen.W - sbH*4, Y0: 4, X1: screen.W - 8, Y1: sbH - 4}
+	statusPrims = append(statusPrims, render.AtlasTextPrims("1208", clockBox, sbH/2)...)
+	ui.Scene.Add(render.Layer{Z: 1, Name: "statusbar", Prims: statusPrims})
+
+	// Header with logo text (vector glyphs — large text renders as paths).
+	headerH := int(a.headerFrac * float64(screen.H))
+	header := geom.Rect{X0: 0, Y0: sbH, X1: screen.W, Y1: sbH + headerH}
+	logoH := headerH / 2
+	logoW := logoH * 3 / 4
+	logoBox := geom.Rect{
+		X0: screen.W/2 - len(a.logo)*logoW/2, Y0: header.Y0 + headerH/4,
+		X1: screen.W/2 + len(a.logo)*logoW/2, Y1: header.Y0 + headerH/4 + logoH,
+	}
+	headerPrims := []render.Prim{render.Quad(header, false)}
+	x := logoBox.X0
+	for _, r := range a.logo {
+		headerPrims = append(headerPrims, render.GlyphPrims(glyph.MustLookup(r), geom.Rect{X0: x, Y0: logoBox.Y0, X1: x + logoW, Y1: logoBox.Y1})...)
+		x += logoW + logoW/8
+	}
+	ui.Scene.Add(render.Layer{Z: 2, Name: "header", Prims: headerPrims})
+
+	// Browser chrome for web targets.
+	if a.Web {
+		barH := screen.H / 18
+		bar := geom.Rect{X0: 0, Y0: sbH, X1: screen.W, Y1: sbH + barH}
+		chrome := []render.Prim{
+			render.Quad(bar, true),
+			render.Quad(bar.Inset(barH/5), false), // URL pill
+		}
+		chrome = append(chrome, render.AtlasTextPrims(a.Name, bar.Inset(barH/4), barH/3)...)
+		ui.Scene.Add(render.Layer{Z: 3, Name: "chrome", Prims: chrome})
+	}
+
+	// Login card with two input fields and a button.
+	inset := screen.W * a.cardInset / 64
+	fieldH := int(a.fieldFrac * float64(screen.H))
+	cardTop := header.Y1 + fieldH
+	card := geom.Rect{X0: inset, Y0: cardTop, X1: screen.W - inset, Y1: cardTop + fieldH*6}
+	ui.Username = geom.Rect{X0: card.X0 + inset, Y0: card.Y0 + fieldH, X1: card.X1 - inset, Y1: card.Y0 + 2*fieldH}
+	ui.Password = geom.Rect{X0: card.X0 + inset, Y0: card.Y0 + 3*fieldH, X1: card.X1 - inset, Y1: card.Y0 + 4*fieldH}
+	button := geom.Rect{X0: card.X0 + inset, Y0: card.Y0 + 5*fieldH, X1: card.X1 - inset, Y1: card.Y0 + 5*fieldH + fieldH*3/4}
+	cardPrims := []render.Prim{
+		render.Quad(card, false),
+		render.Quad(ui.Username, true),
+		render.Quad(ui.Password, true),
+		render.Quad(button, false),
+	}
+	cardPrims = append(cardPrims, render.AtlasTextPrims("username", geom.Rect{X0: ui.Username.X0, Y0: ui.Username.Y0 - fieldH/2, X1: ui.Username.X1, Y1: ui.Username.Y0 - 4}, fieldH/3)...)
+	cardPrims = append(cardPrims, render.AtlasTextPrims("password", geom.Rect{X0: ui.Password.X0, Y0: ui.Password.Y0 - fieldH/2, X1: ui.Password.X1, Y1: ui.Password.Y0 - 4}, fieldH/3)...)
+	cardPrims = append(cardPrims, render.AtlasTextPrims("sign in", button.Inset(button.H()/4), button.H()/3)...)
+	ui.Scene.Add(render.Layer{Z: 4, Name: "card", Prims: cardPrims})
+
+	ui.EchoCharW = fieldH * 2 / 5
+
+	// Decorative animation band (PNC-style): a thin strip under the
+	// header that re-renders continuously.
+	if a.Animated {
+		ui.AnimBand = geom.Rect{X0: screen.W / 4, Y0: header.Y1, X1: screen.W * 3 / 4, Y1: header.Y1 + fieldH/2}
+	}
+	return ui
+}

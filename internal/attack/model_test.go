@@ -1,0 +1,149 @@
+package attack
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpuleak/internal/trace"
+)
+
+func TestClassifyExactCentroids(t *testing.T) {
+	m := tinyModel()
+	for s, c := range m.Keys {
+		v := m.Classify(c)
+		if !v.IsKey || string(v.R) != s {
+			t.Fatalf("centroid %q classified as %+v", s, v)
+		}
+		if v.Dist != 0 {
+			t.Fatalf("exact centroid distance %v", v.Dist)
+		}
+	}
+	for _, n := range m.Noise {
+		v := m.Classify(n.V)
+		if !v.IsNoise || v.Noise != n.Class {
+			t.Fatalf("noise centroid %s classified as %+v", n.Class, v)
+		}
+	}
+}
+
+func TestClassifyRejectsGarbage(t *testing.T) {
+	m := tinyModel()
+	var junk trace.Vec
+	junk[0], junk[3] = 5000, 99999
+	v := m.Classify(junk)
+	if v.IsKey || v.IsNoise {
+		t.Fatalf("garbage accepted: %+v", v)
+	}
+}
+
+func TestClassifyRatioTestGuardsCloseCalls(t *testing.T) {
+	// A point exactly between the two key centroids must not classify.
+	m := tinyModel()
+	mid := keyA().Add(keyB()).Scale(0.5)
+	if v := m.Classify(mid); v.IsKey {
+		t.Fatalf("midpoint classified as %q", v.R)
+	}
+}
+
+func TestClassifyDenoisedSubtractsEachNoiseClass(t *testing.T) {
+	m := tinyModel()
+	for _, n := range m.Noise {
+		merged := keyB().Add(n.V)
+		v := m.ClassifyDenoised(merged)
+		if !v.IsKey || v.R != 'b' {
+			t.Fatalf("key+%s not decomposed: %+v", n.Class, v)
+		}
+	}
+}
+
+func TestNearestNoiseToMatchesBruteForce(t *testing.T) {
+	m := tinyModel()
+	m.buildNoiseIndex()
+	f := func(a, b, c, d uint16) bool {
+		var v trace.Vec
+		v[0] = float64(a % 200)
+		v[1] = float64(b % 80)
+		v[2] = float64(c % 30)
+		v[3] = float64(d % 1500)
+		got := m.nearestNoiseTo(v)
+		brute := math.Inf(1)
+		for _, n := range m.Noise {
+			if dd := v.Dist(n.V, m.Weights); dd < brute {
+				brute = dd
+			}
+		}
+		if brute > m.Cth {
+			// Beyond the bound the indexed search may return any value
+			// above Cth.
+			return got > m.Cth
+		}
+		return math.Abs(got-brute) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelJSONPreservesThresholds(t *testing.T) {
+	m := tinyModel()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cth != m.Cth || back.NoiseTol != m.NoiseTol {
+		t.Fatalf("thresholds lost: %v/%v", back.Cth, back.NoiseTol)
+	}
+	if len(back.Noise) != len(m.Noise) {
+		t.Fatalf("noise centroids lost: %d", len(back.Noise))
+	}
+	// The lazily built index must reconstruct after deserialization.
+	merged := keyA().Add(m.Noise[0].V)
+	if v := back.ClassifyDenoised(merged); !v.IsKey || v.R != 'a' {
+		t.Fatalf("deserialized model cannot denoise: %+v", v)
+	}
+}
+
+func TestNoiseTolFallback(t *testing.T) {
+	m := tinyModel()
+	m.NoiseTol = 0
+	if got := m.noiseTol(); got != m.Cth/3 {
+		t.Fatalf("legacy fallback = %v", got)
+	}
+}
+
+func TestModelRunes(t *testing.T) {
+	m := tinyModel()
+	rs := m.Runes()
+	if len(rs) != 2 || rs[0] != 'a' || rs[1] != 'b' {
+		t.Fatalf("Runes = %q", string(rs))
+	}
+}
+
+func TestKeyNormMax(t *testing.T) {
+	m := tinyModel()
+	nb := keyB().Norm(m.Weights)
+	if got := m.KeyNormMax(); math.Abs(got-nb) > 1e-9 {
+		t.Fatalf("KeyNormMax = %v, want %v", got, nb)
+	}
+}
+
+func TestMinInterKeyDistance(t *testing.T) {
+	m := tinyModel()
+	want := keyA().Dist(keyB(), m.Weights)
+	if got := m.MinInterKeyDistance(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MinInterKeyDistance = %v, want %v", got, want)
+	}
+}
+
+func TestModelKeyString(t *testing.T) {
+	k := ModelKey{Device: "OnePlus 8 Pro", Resolution: "1080x2376", Keyboard: "gboard", RefreshHz: 60}
+	if k.String() != "OnePlus 8 Pro/1080x2376/gboard@60" {
+		t.Fatalf("String = %q", k.String())
+	}
+}

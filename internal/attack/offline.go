@@ -1,0 +1,309 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuleak/internal/input"
+	"gpuleak/internal/keyboard"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
+	"gpuleak/internal/victim"
+)
+
+// CollectOptions tunes the offline phase.
+type CollectOptions struct {
+	// Repeats is how many times each key is emulated (paper's bot presses
+	// every key repeatedly to confirm deltas are stable).
+	Repeats int
+	// Interval is the counter polling period during collection.
+	Interval sim.Time
+}
+
+func (o CollectOptions) withDefaults(vsync sim.Time) CollectOptions {
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+	if o.Interval == 0 {
+		// §7.4: read at no more than half the refresh interval, so every
+		// frame is covered by at least one reading. On 120 Hz panels the
+		// default 8 ms would merge adjacent frames.
+		o.Interval = DefaultInterval
+		if half := vsync / 2; half < o.Interval {
+			o.Interval = half
+		}
+	}
+	return o
+}
+
+// ModelKeyFor derives the classifier identity from a victim configuration.
+func ModelKeyFor(cfg victim.Config) ModelKey {
+	res := cfg.Resolution
+	if res.W == 0 {
+		res = cfg.Device.DefaultResolution()
+	}
+	hz := cfg.RefreshHz
+	if hz == 0 {
+		hz = cfg.Device.DefaultRefreshHz()
+	}
+	kbName := "gboard"
+	if cfg.Keyboard != nil {
+		kbName = cfg.Keyboard.Name
+	}
+	return ModelKey{
+		Device:     cfg.Device.Name,
+		Resolution: res.String(),
+		Keyboard:   kbName,
+		RefreshHz:  hz,
+	}
+}
+
+// Collect runs the offline phase (§3.2, §6): a bot emulates every typable
+// key on a controlled device of the given configuration, the resulting
+// counter trace is labeled with the known press times, and a
+// nearest-centroid classifier with noise signatures is constructed.
+func Collect(cfg victim.Config, opts CollectOptions) (*Model, error) {
+	// Controlled collection environment: the attacker owns this device, so
+	// notifications are silenced; cursor blink stays on because its delta
+	// signature must be learned as noise.
+	cfg.NotifPerMinute = -1
+	cfg.CPULoad = 0
+	cfg.GPULoad = 0
+
+	sess := victim.New(cfg)
+	opts = opts.withDefaults(sess.Comp.VsyncPeriod())
+	alphabet := sess.Comp.KB.TypableRunes()
+	if len(alphabet) == 0 {
+		return nil, fmt.Errorf("attack: keyboard %q has no typable keys", sess.Comp.KB.Name)
+	}
+
+	// Bot script: each key pressed Repeats times with wide, regular gaps so
+	// popup, echo and dismissal deltas separate cleanly.
+	var script input.Script
+	t := 600 * sim.Millisecond
+	for rep := 0; rep < opts.Repeats; rep++ {
+		for _, r := range alphabet {
+			script.Events = append(script.Events, input.Event{
+				Kind: input.EvPress, R: r, At: t, Dur: 90 * sim.Millisecond,
+			})
+			t += 420 * sim.Millisecond
+		}
+	}
+	sess.Run(script)
+
+	f, err := sess.Open()
+	if err != nil {
+		return nil, fmt.Errorf("attack: offline phase: %w", err)
+	}
+	sampler, err := NewSampler(f, opts.Interval)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := sampler.Collect(0, sess.End)
+	if err != nil {
+		return nil, err
+	}
+	deltas := tr.Deltas()
+
+	m := &Model{Key: ModelKeyFor(cfg), Keys: make(map[string]trace.Vec)}
+
+	// The attacker controls the collection device and the bot script, so
+	// every expected UI event has a known frame time: popups at the press
+	// vsync, echo updates at the release vsync, popup dismissals one vsync
+	// later, page-switch redraws before cross-page presses, cursor blinks
+	// on a strict 0.5 s grid, and the launch frame at the start. Each event
+	// gets a labeling window two polling intervals long; the deltas inside
+	// a window (a frame may split across two reads) sum to the event's
+	// exact signature.
+	type labelKind int
+	const (
+		lblKey labelKind = iota
+		lblEcho
+		lblHide
+		lblBlink
+		lblPageSwitch
+		lblLaunch
+	)
+	type window struct {
+		from, to sim.Time
+		kind     labelKind
+		r        rune
+	}
+	// Labeling windows are two polling intervals long but never span a
+	// whole vsync period — the next frame (popup duplication, dismissal)
+	// must stay out of the window.
+	vsync := sess.Comp.VsyncPeriod()
+	wlen := 2 * opts.Interval
+	if wlen > vsync {
+		wlen = vsync
+	}
+	wlen += sim.Microsecond
+	var wins []window
+	wins = append(wins, window{from: sess.LaunchAt, to: sess.LaunchAt + wlen, kind: lblLaunch})
+	curPage := keyboard.PageLower
+	for _, ev := range script.Events {
+		if ev.Kind != input.EvPress {
+			continue
+		}
+		page, ok := sess.Comp.KB.PageFor(ev.R)
+		if !ok {
+			continue
+		}
+		if page != curPage {
+			at := sess.Comp.AlignVsync(ev.At - 60*sim.Millisecond)
+			wins = append(wins, window{from: at, to: at + wlen, kind: lblPageSwitch})
+			curPage = page
+		}
+		press := sess.Comp.AlignVsync(ev.At)
+		echo := sess.Comp.AlignVsync(ev.At + ev.Dur)
+		wins = append(wins, window{from: press, to: press + wlen, kind: lblKey, r: ev.R})
+		wins = append(wins, window{from: echo, to: echo + wlen, kind: lblEcho})
+		wins = append(wins, window{from: echo + vsync, to: echo + vsync + wlen, kind: lblHide})
+	}
+	if !cfg.DisableCursorBlink {
+		for t := sess.LaunchAt + 500*sim.Millisecond; t < sess.End; t += 500 * sim.Millisecond {
+			at := sess.Comp.AlignVsync(t)
+			wins = append(wins, window{from: at, to: at + wlen, kind: lblBlink})
+		}
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i].from < wins[j].from })
+
+	// Assign each delta to the earliest-starting window containing it; a
+	// delta belonging to no window (e.g. a popup-animation duplication) is
+	// discarded — it replays a signature that is already labeled.
+	sums := make([]trace.Vec, len(wins))
+	got := make([]bool, len(wins))
+	wi := 0
+	for _, d := range deltas {
+		for wi < len(wins) && wins[wi].to < d.At {
+			wi++
+		}
+		for j := wi; j < len(wins) && wins[j].from < d.At; j++ {
+			if d.At > wins[j].from && d.At <= wins[j].to {
+				sums[j] = sums[j].Add(d.V)
+				got[j] = true
+				break
+			}
+		}
+	}
+
+	// Key centroids: keep the smallest-magnitude repeat (a repeat whose
+	// window accidentally caught extra work sums high).
+	w := trace.Ones()
+	samples := make(map[rune]trace.Vec)
+	for j, win := range wins {
+		if win.kind != lblKey || !got[j] {
+			continue
+		}
+		if prev, ok := samples[win.r]; !ok || sums[j].Norm(w) < prev.Norm(w) {
+			samples[win.r] = sums[j]
+		}
+	}
+	for r, v := range samples {
+		m.Keys[string(r)] = v
+	}
+	if len(m.Keys) < len(alphabet)*9/10 {
+		return nil, fmt.Errorf("attack: offline phase labeled only %d/%d keys", len(m.Keys), len(alphabet))
+	}
+
+	// Normalization weights: bring every counter dimension to comparable
+	// scale so pixel-count counters do not drown primitive counters.
+	m.Weights = weightsFor(m.Keys)
+
+	// Classification thresholds (§5.1), in noise-sigma units (weights are
+	// 1/sigma per dimension): Cth caps how perturbed an accepted key press
+	// may be; NoiseTol is the tighter bound for matching the deterministic
+	// non-key redraw signatures.
+	m.Cth = 12
+	m.NoiseTol = 4
+
+	// Noise centroids from the labeled non-key windows.
+	// Duplication replays never land in a labeling window, so every
+	// labeled non-key window is a genuine noise signature.
+	seen := map[string]bool{}
+	addNoise := func(class NoiseClass, v trace.Vec) {
+		sig := fmt.Sprintf("%v", v)
+		if seen[sig] {
+			return
+		}
+		seen[sig] = true
+		m.Noise = append(m.Noise, NoiseCentroid{Class: class, V: v})
+	}
+	for j, win := range wins {
+		if !got[j] {
+			continue
+		}
+		if win.kind == lblLaunch {
+			// The launch frame doubles as the device-recognition
+			// fingerprint (§3.2).
+			m.Launch = sums[j]
+		}
+		switch win.kind {
+		case lblEcho:
+			addNoise(NoiseEcho, sums[j])
+		case lblHide:
+			addNoise(NoisePopupHide, sums[j])
+		case lblBlink:
+			addNoise(NoiseBlink, sums[j])
+		case lblPageSwitch:
+			addNoise(NoisePageSwitch, sums[j])
+		case lblLaunch:
+			addNoise(NoiseLaunch, sums[j])
+		}
+	}
+	sort.Slice(m.Noise, func(i, j int) bool {
+		if m.Noise[i].Class != m.Noise[j].Class {
+			return m.Noise[i].Class < m.Noise[j].Class
+		}
+		return m.Noise[i].V.Norm(m.Weights) < m.Noise[j].V.Norm(m.Weights)
+	})
+	return m, nil
+}
+
+func (m *Model) meanKeyNorm() float64 {
+	var sum float64
+	for _, c := range m.Keys {
+		sum += c.Norm(m.Weights)
+	}
+	if len(m.Keys) == 0 {
+		return 1
+	}
+	return sum / float64(len(m.Keys))
+}
+
+// weightsFor computes noise-aware per-dimension weights. Each counter's
+// observation noise has two parts: a quantization floor (counters are
+// integers; partial-frame reads truncate) and a component proportional to
+// magnitude (render jitter scales with the amount drawn). Weighting by
+// 1/sigma makes one unit of weighted distance one noise standard
+// deviation on every dimension, so small counters (tens of primitives)
+// no longer drown in their own rounding while large pixel counters keep
+// their full discriminative power.
+func weightsFor(keys map[string]trace.Vec) trace.Vec {
+	const (
+		quantFloor = 2.0   // counter quantization noise, in counts
+		jitterRef  = 0.004 // reference relative rendering jitter
+	)
+	var scale trace.Vec
+	for _, c := range keys {
+		for i, x := range c {
+			if a := abs(x); a > scale[i] {
+				scale[i] = a
+			}
+		}
+	}
+	var w trace.Vec
+	for i, s := range scale {
+		sigma := math.Sqrt(quantFloor*quantFloor + jitterRef*s*jitterRef*s)
+		w[i] = 1 / sigma
+	}
+	return w
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

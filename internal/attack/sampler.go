@@ -1,0 +1,63 @@
+package attack
+
+import (
+	"fmt"
+
+	"gpuleak/internal/adreno"
+	"gpuleak/internal/kgsl"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
+)
+
+// DefaultInterval is the paper's default counter polling period (§7: the
+// selected GPU PCs are read every 8 ms).
+const DefaultInterval = 8 * sim.Millisecond
+
+// Sampler periodically block-reads the 11 selected counters through the
+// KGSL device file, exactly as the paper's monitoring service does (§4,
+// Figure 10). The polling interval should be at most half the screen
+// refresh interval so every frame is covered by at least one reading.
+type Sampler struct {
+	File     *kgsl.File
+	Interval sim.Time
+}
+
+// NewSampler reserves the selected counters on the device file and
+// returns a sampler. A reservation failure (e.g. an RBAC mitigation
+// denying PERFCOUNTER_GET) is reported to the caller.
+func NewSampler(f *kgsl.File, interval sim.Time) (*Sampler, error) {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	if err := f.ReserveSelected(0); err != nil {
+		return nil, fmt.Errorf("attack: reserving counters: %w", err)
+	}
+	return &Sampler{File: f, Interval: interval}, nil
+}
+
+// Collect polls the counters over [start, end] and returns the trace.
+// Individual read errors abort collection — on a mitigated device the
+// attack fails here.
+func (s *Sampler) Collect(start, end sim.Time) (*trace.Trace, error) {
+	tr := &trace.Trace{Interval: s.Interval}
+	for t := start; t <= end; t += s.Interval {
+		vals, err := s.File.ReadSelected(t)
+		if err != nil {
+			return nil, fmt.Errorf("attack: reading counters at %v: %w", t, err)
+		}
+		var sm trace.Sample
+		sm.At = t
+		copy(sm.Values[:], vals[:])
+		tr.Append(sm)
+	}
+	return tr, nil
+}
+
+// VecOf converts a raw counter array into a feature vector.
+func VecOf(vals [adreno.NumSelected]uint64) trace.Vec {
+	var v trace.Vec
+	for i, x := range vals {
+		v[i] = float64(x)
+	}
+	return v
+}

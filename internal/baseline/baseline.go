@@ -1,0 +1,456 @@
+// Package baseline implements the classical classifiers the paper uses to
+// evaluate prior work in Table 2: Gaussian Naive Bayes, k-nearest
+// neighbors (KNN3), and a Random Forest. They are generic supervised
+// classifiers over dense float feature vectors and are reused by the
+// ablation experiments.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuleak/internal/sim"
+)
+
+// Dataset is a labeled collection of feature vectors.
+type Dataset struct {
+	X [][]float64
+	Y []int
+}
+
+// Add appends one sample.
+func (d *Dataset) Add(x []float64, y int) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Validate checks internal consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("baseline: %d samples, %d labels", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return fmt.Errorf("baseline: empty dataset")
+	}
+	dim := len(d.X[0])
+	for i, x := range d.X {
+		if len(x) != dim {
+			return fmt.Errorf("baseline: sample %d has dim %d, want %d", i, len(x), dim)
+		}
+	}
+	return nil
+}
+
+// Classifier is a supervised classifier.
+type Classifier interface {
+	Fit(d *Dataset) error
+	Predict(x []float64) int
+	Name() string
+}
+
+// Accuracy scores a classifier over a labeled test set.
+func Accuracy(c Classifier, test *Dataset) float64 {
+	if test.Len() == 0 {
+		return 0
+	}
+	hit := 0
+	for i, x := range test.X {
+		if c.Predict(x) == test.Y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(test.Len())
+}
+
+// ---------------------------------------------------------------------
+// Gaussian Naive Bayes.
+
+// GaussianNB assumes per-class independent Gaussian features.
+type GaussianNB struct {
+	classes []int
+	prior   map[int]float64
+	mean    map[int][]float64
+	vari    map[int][]float64
+}
+
+// Name implements Classifier.
+func (g *GaussianNB) Name() string { return "Naive Bayes" }
+
+// Fit estimates per-class feature means and variances.
+func (g *GaussianNB) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	dim := len(d.X[0])
+	g.prior = map[int]float64{}
+	g.mean = map[int][]float64{}
+	g.vari = map[int][]float64{}
+	counts := map[int]int{}
+	for i, x := range d.X {
+		y := d.Y[i]
+		if g.mean[y] == nil {
+			g.mean[y] = make([]float64, dim)
+			g.vari[y] = make([]float64, dim)
+			g.classes = append(g.classes, y)
+		}
+		counts[y]++
+		for j, v := range x {
+			g.mean[y][j] += v
+		}
+	}
+	sort.Ints(g.classes)
+	for _, y := range g.classes {
+		for j := range g.mean[y] {
+			g.mean[y][j] /= float64(counts[y])
+		}
+		g.prior[y] = float64(counts[y]) / float64(d.Len())
+	}
+	for i, x := range d.X {
+		y := d.Y[i]
+		for j, v := range x {
+			dv := v - g.mean[y][j]
+			g.vari[y][j] += dv * dv
+		}
+	}
+	// Variance smoothing keeps degenerate (constant) features finite.
+	var maxVar float64
+	for _, y := range g.classes {
+		for j := range g.vari[y] {
+			g.vari[y][j] /= float64(counts[y])
+			if g.vari[y][j] > maxVar {
+				maxVar = g.vari[y][j]
+			}
+		}
+	}
+	eps := 1e-9 * (maxVar + 1)
+	for _, y := range g.classes {
+		for j := range g.vari[y] {
+			g.vari[y][j] += eps
+		}
+	}
+	return nil
+}
+
+// Predict returns the maximum-posterior class.
+func (g *GaussianNB) Predict(x []float64) int {
+	best, bestLL := 0, math.Inf(-1)
+	for _, y := range g.classes {
+		ll := math.Log(g.prior[y])
+		for j, v := range x {
+			m, s2 := g.mean[y][j], g.vari[y][j]
+			ll += -0.5*math.Log(2*math.Pi*s2) - (v-m)*(v-m)/(2*s2)
+		}
+		if ll > bestLL {
+			bestLL = ll
+			best = y
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------
+// K-nearest neighbors.
+
+// KNN is a k-nearest-neighbor classifier with per-dimension
+// standardization (z-scoring) so heterogeneous counters compare fairly.
+type KNN struct {
+	K     int
+	x     [][]float64
+	y     []int
+	mu    []float64
+	sigma []float64
+}
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return fmt.Sprintf("KNN%d", k.k()) }
+
+func (k *KNN) k() int {
+	if k.K <= 0 {
+		return 3
+	}
+	return k.K
+}
+
+// Fit memorizes the standardized training set.
+func (k *KNN) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	dim := len(d.X[0])
+	k.mu = make([]float64, dim)
+	k.sigma = make([]float64, dim)
+	for _, x := range d.X {
+		for j, v := range x {
+			k.mu[j] += v
+		}
+	}
+	for j := range k.mu {
+		k.mu[j] /= float64(d.Len())
+	}
+	for _, x := range d.X {
+		for j, v := range x {
+			dv := v - k.mu[j]
+			k.sigma[j] += dv * dv
+		}
+	}
+	for j := range k.sigma {
+		k.sigma[j] = math.Sqrt(k.sigma[j] / float64(d.Len()))
+		if k.sigma[j] == 0 {
+			k.sigma[j] = 1
+		}
+	}
+	k.x = make([][]float64, d.Len())
+	for i, x := range d.X {
+		k.x[i] = k.standardize(x)
+	}
+	k.y = append([]int(nil), d.Y...)
+	return nil
+}
+
+func (k *KNN) standardize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - k.mu[j]) / k.sigma[j]
+	}
+	return out
+}
+
+// Predict votes among the K nearest training samples.
+func (k *KNN) Predict(x []float64) int {
+	type cand struct {
+		d float64
+		y int
+	}
+	xs := k.standardize(x)
+	cands := make([]cand, len(k.x))
+	for i, t := range k.x {
+		var ss float64
+		for j := range t {
+			dv := xs[j] - t[j]
+			ss += dv * dv
+		}
+		cands[i] = cand{d: ss, y: k.y[i]}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	votes := map[int]int{}
+	n := k.k()
+	if n > len(cands) {
+		n = len(cands)
+	}
+	best, bestVotes := 0, -1
+	for i := 0; i < n; i++ {
+		votes[cands[i].y]++
+		if votes[cands[i].y] > bestVotes {
+			bestVotes = votes[cands[i].y]
+			best = cands[i].y
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------
+// Random forest.
+
+// RandomForest is a bagged ensemble of CART decision trees with random
+// feature subsampling.
+type RandomForest struct {
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+	Seed     int64
+	trees    []*node
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "Random Forest" }
+
+type node struct {
+	feature  int
+	thresh   float64
+	left     *node
+	right    *node
+	leafPred int
+	leaf     bool
+}
+
+func (f *RandomForest) defaults() (trees, depth, minLeaf int) {
+	trees = f.Trees
+	if trees <= 0 {
+		trees = 40
+	}
+	depth = f.MaxDepth
+	if depth <= 0 {
+		depth = 10
+	}
+	minLeaf = f.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	return
+}
+
+// Fit grows the forest on bootstrap resamples.
+func (f *RandomForest) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	trees, depth, minLeaf := f.defaults()
+	rng := sim.NewRand(f.Seed + 1)
+	dim := len(d.X[0])
+	mtry := int(math.Sqrt(float64(dim)))
+	if mtry < 1 {
+		mtry = 1
+	}
+	f.trees = make([]*node, trees)
+	for t := 0; t < trees; t++ {
+		idx := make([]int, d.Len())
+		for i := range idx {
+			idx[i] = rng.Intn(d.Len())
+		}
+		f.trees[t] = growTree(d, idx, depth, minLeaf, mtry, rng)
+	}
+	return nil
+}
+
+func growTree(d *Dataset, idx []int, depth, minLeaf, mtry int, rng *sim.Rand) *node {
+	if depth == 0 || len(idx) <= minLeaf || pure(d, idx) {
+		return &node{leaf: true, leafPred: majority(d, idx)}
+	}
+	dim := len(d.X[0])
+	feats := rng.Perm(dim)[:mtry]
+	bestGini := math.Inf(1)
+	bestFeat, bestThresh := -1, 0.0
+	for _, ft := range feats {
+		vals := make([]float64, len(idx))
+		for i, id := range idx {
+			vals[i] = d.X[id][ft]
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds at quartiles keep tree growth cheap.
+		for _, q := range []float64{0.25, 0.5, 0.75} {
+			th := vals[int(q*float64(len(vals)-1))]
+			g := splitGini(d, idx, ft, th)
+			if g < bestGini {
+				bestGini = g
+				bestFeat = ft
+				bestThresh = th
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{leaf: true, leafPred: majority(d, idx)}
+	}
+	var li, ri []int
+	for _, id := range idx {
+		if d.X[id][bestFeat] <= bestThresh {
+			li = append(li, id)
+		} else {
+			ri = append(ri, id)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &node{leaf: true, leafPred: majority(d, idx)}
+	}
+	return &node{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    growTree(d, li, depth-1, minLeaf, mtry, rng),
+		right:   growTree(d, ri, depth-1, minLeaf, mtry, rng),
+	}
+}
+
+func pure(d *Dataset, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := d.Y[idx[0]]
+	for _, id := range idx[1:] {
+		if d.Y[id] != first {
+			return false
+		}
+	}
+	return true
+}
+
+func majority(d *Dataset, idx []int) int {
+	votes := map[int]int{}
+	for _, id := range idx {
+		votes[d.Y[id]]++
+	}
+	// Deterministic tie-break: the smallest class label wins.
+	best, bestN := 0, -1
+	for y, n := range votes {
+		if n > bestN || (n == bestN && y < best) {
+			bestN = n
+			best = y
+		}
+	}
+	return best
+}
+
+func splitGini(d *Dataset, idx []int, ft int, th float64) float64 {
+	lCounts := map[int]int{}
+	rCounts := map[int]int{}
+	nl, nr := 0, 0
+	for _, id := range idx {
+		if d.X[id][ft] <= th {
+			lCounts[d.Y[id]]++
+			nl++
+		} else {
+			rCounts[d.Y[id]]++
+			nr++
+		}
+	}
+	// Sum class probabilities in sorted-label order: map iteration order
+	// would make the floating-point sum — and therefore split tie-breaks —
+	// nondeterministic.
+	gini := func(counts map[int]int, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		labels := make([]int, 0, len(counts))
+		for y := range counts {
+			labels = append(labels, y)
+		}
+		sort.Ints(labels)
+		g := 1.0
+		for _, y := range labels {
+			p := float64(counts[y]) / float64(n)
+			g -= p * p
+		}
+		return g
+	}
+	n := float64(nl + nr)
+	return float64(nl)/n*gini(lCounts, nl) + float64(nr)/n*gini(rCounts, nr)
+}
+
+// Predict takes the majority vote of the trees.
+func (f *RandomForest) Predict(x []float64) int {
+	votes := map[int]int{}
+	for _, t := range f.trees {
+		votes[t.predict(x)]++
+	}
+	best, bestN := 0, -1
+	for y, n := range votes {
+		if n > bestN || (n == bestN && y < best) {
+			bestN = n
+			best = y
+		}
+	}
+	return best
+}
+
+func (n *node) predict(x []float64) int {
+	for !n.leaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.leafPred
+}

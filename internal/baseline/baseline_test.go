@@ -1,0 +1,161 @@
+package baseline
+
+import (
+	"testing"
+
+	"gpuleak/internal/sim"
+)
+
+// blobs builds a well-separated 3-class Gaussian dataset.
+func blobs(rng *sim.Rand, n int, spread float64) *Dataset {
+	centers := [][]float64{{0, 0, 0}, {6, 0, 3}, {0, 6, -3}}
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		y := i % 3
+		x := make([]float64, 3)
+		for j := range x {
+			x[j] = centers[y][j] + rng.Norm(0, spread)
+		}
+		d.Add(x, y)
+	}
+	return d
+}
+
+func classifiers() []Classifier {
+	return []Classifier{
+		&GaussianNB{},
+		&KNN{K: 3},
+		&RandomForest{Trees: 25, Seed: 7},
+	}
+}
+
+func TestSeparableBlobs(t *testing.T) {
+	rng := sim.NewRand(1)
+	train := blobs(rng, 300, 0.5)
+	test := blobs(rng, 150, 0.5)
+	for _, c := range classifiers() {
+		if err := c.Fit(train); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if acc := Accuracy(c, test); acc < 0.95 {
+			t.Errorf("%s accuracy on separable blobs = %v", c.Name(), acc)
+		}
+	}
+}
+
+func TestNoisyBlobsNearChance(t *testing.T) {
+	// When noise drowns the class structure, accuracy collapses toward
+	// chance — the Table-2 regime.
+	rng := sim.NewRand(2)
+	train := blobs(rng, 300, 40)
+	test := blobs(rng, 300, 40)
+	for _, c := range classifiers() {
+		if err := c.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		if acc := Accuracy(c, test); acc > 0.60 {
+			t.Errorf("%s accuracy on noise = %v, want near chance", c.Name(), acc)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := &Dataset{}
+	if err := d.Validate(); err == nil {
+		t.Fatal("empty dataset validated")
+	}
+	d.Add([]float64{1, 2}, 0)
+	d.Add([]float64{1}, 1)
+	if err := d.Validate(); err == nil {
+		t.Fatal("ragged dataset validated")
+	}
+	d2 := &Dataset{X: [][]float64{{1}}, Y: []int{0, 1}}
+	if err := d2.Validate(); err == nil {
+		t.Fatal("mismatched labels validated")
+	}
+}
+
+func TestFitErrorsOnBadData(t *testing.T) {
+	for _, c := range classifiers() {
+		if err := c.Fit(&Dataset{}); err == nil {
+			t.Errorf("%s accepted empty dataset", c.Name())
+		}
+	}
+}
+
+func TestNBConstantFeature(t *testing.T) {
+	// A zero-variance feature must not produce NaN posteriors.
+	d := &Dataset{}
+	rng := sim.NewRand(3)
+	for i := 0; i < 60; i++ {
+		y := i % 2
+		d.Add([]float64{1.0, float64(y)*4 + rng.Norm(0, 0.3)}, y)
+	}
+	nb := &GaussianNB{}
+	if err := nb.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(nb, d); acc < 0.9 {
+		t.Fatalf("NB with constant feature: accuracy %v", acc)
+	}
+}
+
+func TestKNNStandardizationMatters(t *testing.T) {
+	// One informative small-scale dim plus one huge uninformative dim:
+	// without z-scoring KNN would fail.
+	d := &Dataset{}
+	rng := sim.NewRand(4)
+	for i := 0; i < 200; i++ {
+		y := i % 2
+		d.Add([]float64{float64(y) + rng.Norm(0, 0.1), rng.Norm(0, 1e6)}, y)
+	}
+	knn := &KNN{K: 3}
+	if err := knn.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	test := &Dataset{}
+	for i := 0; i < 100; i++ {
+		y := i % 2
+		test.Add([]float64{float64(y) + rng.Norm(0, 0.1), rng.Norm(0, 1e6)}, y)
+	}
+	if acc := Accuracy(knn, test); acc < 0.9 {
+		t.Fatalf("standardized KNN accuracy = %v", acc)
+	}
+}
+
+func TestKNNDefaultK(t *testing.T) {
+	k := &KNN{}
+	if k.Name() != "KNN3" {
+		t.Fatalf("default name = %s", k.Name())
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	rng := sim.NewRand(5)
+	train := blobs(rng, 120, 1.0)
+	test := blobs(rng, 60, 1.0)
+	a := &RandomForest{Trees: 15, Seed: 9}
+	b := &RandomForest{Trees: 15, Seed: 9}
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range test.X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}
+
+func TestAccuracyEmptyTest(t *testing.T) {
+	nb := &GaussianNB{}
+	rng := sim.NewRand(6)
+	if err := nb.Fit(blobs(rng, 30, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if Accuracy(nb, &Dataset{}) != 0 {
+		t.Fatal("empty test accuracy != 0")
+	}
+}

@@ -1,0 +1,115 @@
+package cupti
+
+import (
+	"testing"
+
+	"gpuleak/internal/baseline"
+	"gpuleak/internal/sim"
+)
+
+var alphabet = []rune("abcdefghijklmnopqrstuvwxyz0123456789")
+
+func TestThreeWorkloads(t *testing.T) {
+	if len(Workloads) != 3 {
+		t.Fatalf("workload count = %d", len(Workloads))
+	}
+	names := map[string]bool{}
+	for _, w := range Workloads {
+		names[w.Name] = true
+	}
+	for _, want := range []string{"gedit", "gmail-web", "dropbox-client"} {
+		if !names[want] {
+			t.Errorf("workload %q missing", want)
+		}
+	}
+}
+
+func TestSampleDimensions(t *testing.T) {
+	rng := sim.NewRand(1)
+	s := Gedit.KeystrokeSample('a', rng)
+	if len(s) != NumCounters {
+		t.Fatalf("sample dim = %d", len(s))
+	}
+	for i, v := range s {
+		if v <= 0 {
+			t.Fatalf("counter %s non-positive: %v", CounterNames[i], v)
+		}
+	}
+}
+
+func TestSignalExistsButIsWeak(t *testing.T) {
+	// Average many samples: per-key means must differ (there IS signal),
+	// but single samples must be dominated by noise (low SNR).
+	rng := sim.NewRand(2)
+	meanFor := func(r rune) float64 {
+		var sum float64
+		for i := 0; i < 4000; i++ {
+			sum += Gedit.KeystrokeSample(r, rng)[0]
+		}
+		return sum / 4000
+	}
+	mw := meanFor('w')
+	md := meanFor('.')
+	gap := mw - md
+	if gap <= 0 {
+		t.Fatalf("no ordered signal: w=%v . =%v", mw, md)
+	}
+	// Noise std on counter 0 is base*noise = 42*0.04 = 1.68; the extreme
+	// w-vs-. signal gap may reach the noise scale, but typical inter-key
+	// gaps sit far below it (that is Table 2's whole point).
+	if gap > 8.0 {
+		t.Fatalf("signal too strong for the Table-2 regime: gap=%v", gap)
+	}
+	ma := meanFor('a')
+	mb := meanFor('b')
+	if g := ma - mb; g > 2.0 || g < -2.0 {
+		t.Fatalf("typical inter-key gap too strong: %v", g)
+	}
+}
+
+// TestTable2Regime verifies the headline: classical classifiers on
+// workload-level counters reach only ~8-14% per-key accuracy.
+func TestTable2Regime(t *testing.T) {
+	rng := sim.NewRand(3)
+	build := func(n int) *baseline.Dataset {
+		d := &baseline.Dataset{}
+		for i := 0; i < n; i++ {
+			y := i % len(alphabet)
+			d.Add(Gedit.KeystrokeSample(alphabet[y], rng), y)
+		}
+		return d
+	}
+	train := build(len(alphabet) * 30)
+	test := build(len(alphabet) * 10)
+
+	chance := 1.0 / float64(len(alphabet))
+	for _, c := range []baseline.Classifier{&baseline.GaussianNB{}, &baseline.KNN{K: 3}} {
+		if err := c.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		acc := baseline.Accuracy(c, test)
+		if acc < chance {
+			t.Errorf("%s below chance: %v", c.Name(), acc)
+		}
+		if acc > 0.30 {
+			t.Errorf("%s too accurate for workload-level counters: %v", c.Name(), acc)
+		}
+		t.Logf("%s: %.3f (chance %.3f)", c.Name(), acc, chance)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := Gedit.KeystrokeSample('q', sim.NewRand(9))
+	b := Gedit.KeystrokeSample('q', sim.NewRand(9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestWorkloadsDiffer(t *testing.T) {
+	if Gedit.base == GmailWeb.base {
+		t.Fatal("workload bases identical")
+	}
+}

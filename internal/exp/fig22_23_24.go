@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+
+	"gpuleak/internal/android"
+	"gpuleak/internal/attack"
+	"gpuleak/internal/geom"
+	"gpuleak/internal/input"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/stats"
+	"gpuleak/internal/victim"
+)
+
+// RunFig22 reproduces Figure 22: the impact of concurrent CPU and GPU
+// workloads. Paper: negligible reduction for CPU<50% or GPU<25%; drops
+// toward ~60% when loads reach 75%.
+func RunFig22(o Options) (*Result, error) {
+	res := newResult("fig22", "Figure 22: impact of concurrent CPU/GPU workloads",
+		"load", "level", "text acc", "char acc")
+
+	cfg := DefaultConfig()
+	m, err := TrainModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	per := o.Trials(150)
+	levels := []float64{0, 0.25, 0.50, 0.75}
+
+	run := func(kind string, set func(*victim.Config, float64)) error {
+		for li, lv := range levels {
+			c := cfg
+			set(&c, lv)
+			b, err := RunBatch(c, m, LowerDigits, 10, per,
+				input.Volunteers[li%5], input.SpeedAny, attack.DefaultInterval,
+				attack.OnlineOptions{}, o.Seed+int64(li)*41231+hash32(kind))
+			if err != nil {
+				return err
+			}
+			ta, ca := b.TextAccuracy(), b.CharAccuracy()
+			res.Table.AddRow(kind, fmt.Sprintf("%.0f%%", lv*100), stats.Pct(ta), stats.Pct(ca))
+			res.Metrics[fmt.Sprintf("%s_%.0f_text", kind, lv*100)] = ta
+			res.Metrics[fmt.Sprintf("%s_%.0f_char", kind, lv*100)] = ca
+		}
+		return nil
+	}
+	if err := run("cpu", func(c *victim.Config, lv float64) { c.CPULoad = lv }); err != nil {
+		return nil, err
+	}
+	if err := run("gpu", func(c *victim.Config, lv float64) { c.GPULoad = lv }); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func hash32(s string) int64 {
+	var h int64 = 1469598103
+	for _, c := range s {
+		h = h*1099511 + int64(c)
+	}
+	return h
+}
+
+// RunFig23 reproduces Figure 23: the impact of the counter polling
+// interval at 60 Hz and 120 Hz refresh rates. Paper: per-key accuracy
+// stays >95% but text accuracy drops ~20% at a 12 ms interval; 120 Hz
+// needs a 4 ms interval.
+func RunFig23(o Options) (*Result, error) {
+	res := newResult("fig23", "Figure 23: impact of the PC reading interval",
+		"refresh", "interval", "text acc", "char acc")
+
+	per := o.Trials(150)
+	for _, hz := range []int{60, 120} {
+		cfg := DefaultConfig()
+		cfg.RefreshHz = hz
+		m, err := TrainModel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for ii, interval := range []sim.Time{4 * sim.Millisecond, 8 * sim.Millisecond, 12 * sim.Millisecond} {
+			b, err := RunBatch(cfg, m, LowerDigits, 10, per,
+				input.Volunteers[ii%5], input.SpeedAny, interval,
+				attack.OnlineOptions{}, o.Seed+int64(hz)*7+int64(ii)*52561)
+			if err != nil {
+				return nil, err
+			}
+			ta, ca := b.TextAccuracy(), b.CharAccuracy()
+			res.Table.AddRow(fmt.Sprintf("%dHz", hz), interval.String(), stats.Pct(ta), stats.Pct(ca))
+			res.Metrics[fmt.Sprintf("%dhz_%dms_text", hz, int(interval/sim.Millisecond))] = ta
+			res.Metrics[fmt.Sprintf("%dhz_%dms_char", hz, int(interval/sim.Millisecond))] = ca
+		}
+	}
+	return res, nil
+}
+
+// RunFig24 reproduces Figure 24: adaptability across GPU models (a),
+// screen resolutions (b), phone models sharing a GPU (c) and Android OS
+// versions (d). With per-configuration classifiers, accuracy is similar
+// everywhere.
+func RunFig24(o Options) (*Result, error) {
+	res := newResult("fig24", "Figure 24: adaptability of the attack",
+		"sweep", "configuration", "text acc", "char acc")
+
+	per := o.Trials(100)
+	seed := o.Seed
+	var texts []float64
+
+	eval := func(sweep, label string, cfg victim.Config) error {
+		m, err := TrainModel(cfg)
+		if err != nil {
+			return err
+		}
+		seed += 60013
+		// §7.4's recommendation: poll at no more than half the refresh
+		// interval — 4 ms on 120 Hz panels.
+		interval := attack.DefaultInterval
+		hz := cfg.RefreshHz
+		if hz == 0 {
+			hz = cfg.Device.DefaultRefreshHz()
+		}
+		if hz > 60 {
+			interval = 4 * sim.Millisecond
+		}
+		b, err := RunBatch(cfg, m, LowerDigits, 10, per,
+			input.Volunteers[int(seed)%5], input.SpeedAny, interval,
+			attack.OnlineOptions{}, seed)
+		if err != nil {
+			return err
+		}
+		ta, ca := b.TextAccuracy(), b.CharAccuracy()
+		res.Table.AddRow(sweep, label, stats.Pct(ta), stats.Pct(ca))
+		res.Metrics[sweep+"/"+label+"/text"] = ta
+		res.Metrics[sweep+"/"+label+"/char"] = ca
+		texts = append(texts, ta)
+		return nil
+	}
+
+	// (a) GPU models.
+	for _, dev := range []android.DeviceModel{android.LGV30, android.OnePlus7Pro, android.OnePlus8Pro, android.OnePlus9} {
+		cfg := DefaultConfig()
+		cfg.Device = dev
+		if err := eval("gpu", dev.GPU.String(), cfg); err != nil {
+			return nil, err
+		}
+	}
+	// (b) Screen resolutions on the OnePlus 8 Pro.
+	for _, r := range []geom.Size{android.FHDPlus, android.QHDPlus} {
+		cfg := DefaultConfig()
+		cfg.Resolution = r
+		if err := eval("resolution", r.String(), cfg); err != nil {
+			return nil, err
+		}
+	}
+	// (c) Different phones sharing a GPU.
+	for _, dev := range []android.DeviceModel{android.LGV30, android.Pixel2, android.OnePlus9, android.GalaxyS21} {
+		cfg := DefaultConfig()
+		cfg.Device = dev
+		if err := eval("model", dev.Name, cfg); err != nil {
+			return nil, err
+		}
+	}
+	// (d) Android versions on the same hardware.
+	for _, v := range []int{9, 10, 11} {
+		cfg := DefaultConfig()
+		cfg.Device = cfg.Device.WithAndroidVersion(v)
+		if err := eval("android", fmt.Sprintf("Android %d", v), cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Metrics["min_text_acc"] = stats.Percentile(texts, 0)
+	res.Metrics["max_text_acc"] = stats.Percentile(texts, 100)
+	res.Metrics["text_acc_spread"] = stats.Percentile(texts, 100) - stats.Percentile(texts, 0)
+	return res, nil
+}

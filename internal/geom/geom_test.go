@@ -1,0 +1,189 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := XYWH(10, 20, 30, 40)
+	if r.W() != 30 || r.H() != 40 || r.Area() != 1200 {
+		t.Fatalf("bad dims: %v", r)
+	}
+	if r.Empty() {
+		t.Fatal("non-empty rect reported empty")
+	}
+	if !(Rect{5, 5, 5, 9}).Empty() {
+		t.Fatal("zero-width rect not empty")
+	}
+	if got := r.String(); got != "[10,20 30x40]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := XYWH(0, 0, 10, 10)
+	b := XYWH(5, 5, 10, 10)
+	got := a.Intersect(b)
+	want := Rect{5, 5, 10, 10}
+	if got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Overlaps(b) {
+		t.Fatal("Overlaps = false")
+	}
+	c := XYWH(100, 100, 5, 5)
+	if !a.Intersect(c).Empty() {
+		t.Fatal("disjoint intersect not empty")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint rects overlap")
+	}
+}
+
+func TestContains(t *testing.T) {
+	outer := XYWH(0, 0, 100, 100)
+	if !outer.Contains(XYWH(10, 10, 20, 20)) {
+		t.Fatal("inner rect not contained")
+	}
+	if outer.Contains(XYWH(90, 90, 20, 20)) {
+		t.Fatal("overhanging rect contained")
+	}
+	if !outer.Contains(Rect{}) {
+		t.Fatal("empty rect must be contained anywhere")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := XYWH(0, 0, 10, 10)
+	b := XYWH(20, 20, 5, 5)
+	got := a.Union(b)
+	if got != (Rect{0, 0, 25, 25}) {
+		t.Fatalf("Union = %v", got)
+	}
+	if a.Union(Rect{}) != a || (Rect{}).Union(a) != a {
+		t.Fatal("union with empty must be identity")
+	}
+}
+
+func TestInsetTranslate(t *testing.T) {
+	r := XYWH(10, 10, 20, 20)
+	if r.Inset(5) != (Rect{15, 15, 25, 25}) {
+		t.Fatalf("Inset = %v", r.Inset(5))
+	}
+	if r.Translate(3, -2) != (Rect{13, 8, 33, 28}) {
+		t.Fatalf("Translate = %v", r.Translate(3, -2))
+	}
+}
+
+func TestTilesAligned(t *testing.T) {
+	// 16x16 rect on an 8x8 grid aligned at origin: 4 tiles, all full.
+	tc := Tiles(XYWH(0, 0, 16, 16), 8, 8)
+	if tc.Touched != 4 || tc.Full != 4 || tc.Partial() != 0 {
+		t.Fatalf("aligned: %+v", tc)
+	}
+}
+
+func TestTilesUnaligned(t *testing.T) {
+	// Shifted by 4px: touches 3x3 tiles, none fully covered except center.
+	tc := Tiles(XYWH(4, 4, 16, 16), 8, 8)
+	if tc.Touched != 9 {
+		t.Fatalf("touched = %d, want 9", tc.Touched)
+	}
+	if tc.Full != 1 {
+		t.Fatalf("full = %d, want 1", tc.Full)
+	}
+}
+
+func TestTilesThin(t *testing.T) {
+	// A 2px-tall strip never fully covers an 8x8 tile.
+	tc := Tiles(XYWH(0, 3, 64, 2), 8, 8)
+	if tc.Full != 0 {
+		t.Fatalf("thin strip full = %d", tc.Full)
+	}
+	if tc.Touched != 8 {
+		t.Fatalf("thin strip touched = %d", tc.Touched)
+	}
+}
+
+func TestTiles8x4(t *testing.T) {
+	tc := Tiles(XYWH(0, 0, 8, 8), 8, 4)
+	if tc.Touched != 2 || tc.Full != 2 {
+		t.Fatalf("8x4: %+v", tc)
+	}
+}
+
+func TestTilesEmpty(t *testing.T) {
+	if Tiles(Rect{}, 8, 8) != (TileCount{}) {
+		t.Fatal("empty rect produced tiles")
+	}
+}
+
+// Property: Full <= Touched, and Touched*tileArea >= rect area.
+func TestTilesProperty(t *testing.T) {
+	f := func(x, y uint8, w, h uint8) bool {
+		r := XYWH(int(x), int(y), int(w)+1, int(h)+1)
+		tc := Tiles(r, 8, 8)
+		if tc.Full > tc.Touched {
+			return false
+		}
+		if tc.Touched*64 < r.Area() {
+			return false
+		}
+		if tc.Full*64 > r.Area() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestIntersectProperty(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := XYWH(int(ax), int(ay), int(aw), int(ah))
+		b := XYWH(int(bx), int(by), int(bw), int(bh))
+		i1 := a.Intersect(b)
+		i2 := b.Intersect(a)
+		if i1 != i2 {
+			return false
+		}
+		if !i1.Empty() && (!a.Contains(i1) || !b.Contains(i1)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleRectF(t *testing.T) {
+	box := XYWH(100, 200, 100, 100)
+	r := RectF{0.1, 0.2, 0.5, 0.9}.Scale(box)
+	want := Rect{110, 220, 150, 290}
+	if r != want {
+		t.Fatalf("Scale = %v, want %v", r, want)
+	}
+	// Hairline strokes widen to >= 1px.
+	hl := RectF{0.5, 0.0, 0.5, 1.0}.Scale(box)
+	if hl.W() < 1 {
+		t.Fatalf("hairline width = %d", hl.W())
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, floor, ceil int }{
+		{7, 8, 0, 1}, {8, 8, 1, 1}, {-1, 8, -1, 0}, {0, 8, 0, 0}, {-8, 8, -1, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package glyph implements the vector pseudo-font used by the simulated
+// Android UI. Each character is a set of axis-aligned strokes in a
+// normalized em square plus a count of curved segments. When a glyph is
+// rendered at some pixel size the strokes become rectangles and the curves
+// tessellate into additional triangles, so every character produces a
+// distinct, stable amount of rasterized pixels, primitives and tile
+// coverage — exactly the per-key uniqueness the GPU side channel exploits.
+//
+// The paper relies on real fonts rendered by Skia; only two properties of
+// those fonts matter to the attack: (1) different characters cover
+// different numbers of pixels/tiles, and (2) the coverage of a given
+// character is identical every time it is drawn. The stroke tables below
+// preserve both, including the paper's observation that tiny punctuation
+// ('.', ',', ':', '\”) produces the least overdraw and is hardest to infer.
+package glyph
+
+import (
+	"sort"
+
+	"gpuleak/internal/geom"
+)
+
+// Glyph is a character shape: axis-aligned strokes in the unit em square
+// plus the number of curved segments (each tessellates into extra
+// triangles at render time).
+type Glyph struct {
+	Strokes []geom.RectF
+	Curves  int
+}
+
+// stroke width in em units.
+const strokeW = 0.13
+
+// vs returns a vertical stroke centered on x spanning [y0, y1].
+func vs(x, y0, y1 float64) geom.RectF {
+	return geom.RectF{X0: x - strokeW/2, Y0: y0, X1: x + strokeW/2, Y1: y1}
+}
+
+// hs returns a horizontal stroke centered on y spanning [x0, x1].
+func hs(y, x0, x1 float64) geom.RectF {
+	return geom.RectF{X0: x0, Y0: y - strokeW/2, X1: x1, Y1: y + strokeW/2}
+}
+
+// dg approximates a diagonal from (x0,y0) to (x1,y1) with a three-step
+// staircase of stroke-width rectangles. Tile-based accounting of a
+// staircase closely matches conservative rasterization of a thin diagonal.
+func dg(x0, y0, x1, y1 float64) []geom.RectF {
+	out := make([]geom.RectF, 0, 3)
+	for i := 0; i < 3; i++ {
+		fx0 := x0 + (x1-x0)*float64(i)/3
+		fx1 := x0 + (x1-x0)*float64(i+1)/3
+		fy0 := y0 + (y1-y0)*float64(i)/3
+		fy1 := y0 + (y1-y0)*float64(i+1)/3
+		if fx1 < fx0 {
+			fx0, fx1 = fx1, fx0
+		}
+		if fy1 < fy0 {
+			fy0, fy1 = fy1, fy0
+		}
+		// Ensure at least stroke width in each dimension.
+		if fx1-fx0 < strokeW {
+			c := (fx0 + fx1) / 2
+			fx0, fx1 = c-strokeW/2, c+strokeW/2
+		}
+		if fy1-fy0 < strokeW {
+			c := (fy0 + fy1) / 2
+			fy0, fy1 = c-strokeW/2, c+strokeW/2
+		}
+		out = append(out, geom.RectF{X0: fx0, Y0: fy0, X1: fx1, Y1: fy1})
+	}
+	return out
+}
+
+// dot returns a small square centered at (x, y).
+func dot(x, y float64) geom.RectF {
+	const r = 0.07
+	return geom.RectF{X0: x - r, Y0: y - r, X1: x + r, Y1: y + r}
+}
+
+func cat(parts ...[]geom.RectF) []geom.RectF {
+	var out []geom.RectF
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func s(rs ...geom.RectF) []geom.RectF { return rs }
+
+// table maps every character the simulated keyboards can produce to its
+// shape. Lowercase letters live in the x-height band [0.35, 0.95];
+// ascenders/capitals start at 0.05; descenders are folded into the band.
+var table = map[rune]Glyph{
+	// Lowercase.
+	'a': {cat(s(vs(0.70, 0.40, 0.95), hs(0.40, 0.30, 0.70), hs(0.95, 0.30, 0.70), hs(0.66, 0.30, 0.70), vs(0.28, 0.66, 0.95))), 2},
+	'b': {cat(s(vs(0.28, 0.05, 0.95), hs(0.40, 0.28, 0.70), hs(0.95, 0.28, 0.70), vs(0.72, 0.40, 0.95))), 2},
+	'c': {cat(s(hs(0.40, 0.32, 0.72), hs(0.95, 0.32, 0.72), vs(0.28, 0.40, 0.95))), 2},
+	'd': {cat(s(vs(0.72, 0.05, 0.95), hs(0.40, 0.32, 0.72), hs(0.95, 0.30, 0.72), vs(0.28, 0.42, 0.95))), 2},
+	'e': {cat(s(vs(0.28, 0.40, 0.95), hs(0.40, 0.28, 0.72), hs(0.66, 0.28, 0.72), hs(0.95, 0.28, 0.72), vs(0.72, 0.40, 0.66))), 2},
+	'f': {cat(s(vs(0.45, 0.05, 0.95), hs(0.40, 0.25, 0.75), hs(0.12, 0.45, 0.72))), 2},
+	'g': {cat(s(vs(0.72, 0.40, 0.95), hs(0.40, 0.30, 0.72), hs(0.70, 0.30, 0.72), vs(0.28, 0.40, 0.70), hs(0.95, 0.30, 0.72))), 3},
+	'h': {cat(s(vs(0.28, 0.05, 0.95), hs(0.42, 0.28, 0.72), vs(0.72, 0.42, 0.95))), 1},
+	'i': {cat(s(vs(0.50, 0.40, 0.95), dot(0.50, 0.22))), 0},
+	'j': {cat(s(vs(0.58, 0.40, 0.92), dot(0.58, 0.22), hs(0.92, 0.30, 0.58))), 1},
+	'k': {cat(s(vs(0.28, 0.05, 0.95)), dg(0.32, 0.68, 0.72, 0.40), dg(0.36, 0.66, 0.74, 0.95)), 0},
+	'l': {cat(s(vs(0.50, 0.05, 0.95))), 0},
+	'm': {cat(s(vs(0.22, 0.40, 0.95), vs(0.50, 0.44, 0.95), vs(0.78, 0.44, 0.95), hs(0.42, 0.22, 0.78))), 2},
+	'n': {cat(s(vs(0.28, 0.40, 0.95), vs(0.72, 0.44, 0.95), hs(0.42, 0.28, 0.72))), 1},
+	'o': {cat(s(vs(0.28, 0.42, 0.93), vs(0.72, 0.42, 0.93), hs(0.40, 0.30, 0.70), hs(0.95, 0.30, 0.70))), 4},
+	'p': {cat(s(vs(0.28, 0.40, 0.95), hs(0.40, 0.28, 0.70), hs(0.72, 0.28, 0.70), vs(0.72, 0.40, 0.72))), 2},
+	'q': {cat(s(vs(0.72, 0.40, 0.98), hs(0.40, 0.30, 0.72), hs(0.72, 0.30, 0.72), vs(0.28, 0.40, 0.72))), 3},
+	'r': {cat(s(vs(0.32, 0.40, 0.95), hs(0.44, 0.32, 0.72))), 1},
+	's': {cat(s(hs(0.40, 0.30, 0.72), hs(0.66, 0.30, 0.72), hs(0.95, 0.28, 0.70), vs(0.28, 0.40, 0.66), vs(0.72, 0.66, 0.95))), 2},
+	't': {cat(s(vs(0.48, 0.12, 0.92), hs(0.40, 0.26, 0.72), hs(0.92, 0.48, 0.74))), 1},
+	'u': {cat(s(vs(0.28, 0.38, 0.92), vs(0.72, 0.40, 0.95), hs(0.93, 0.28, 0.72))), 2},
+	'v': {cat(dg(0.24, 0.40, 0.50, 0.95), dg(0.50, 0.95, 0.76, 0.40)), 0},
+	'w': {cat(dg(0.16, 0.40, 0.34, 0.95), dg(0.34, 0.95, 0.50, 0.55), dg(0.50, 0.55, 0.66, 0.95), dg(0.66, 0.95, 0.84, 0.40)), 0},
+	'x': {cat(dg(0.26, 0.40, 0.74, 0.95), dg(0.26, 0.95, 0.74, 0.40)), 0},
+	'y': {cat(dg(0.26, 0.40, 0.50, 0.70), s(vs(0.62, 0.40, 0.95), hs(0.95, 0.34, 0.62))), 1},
+	'z': {cat(s(hs(0.40, 0.28, 0.72), hs(0.95, 0.28, 0.72)), dg(0.28, 0.95, 0.72, 0.40)), 0},
+
+	// Uppercase: larger band [0.05, 0.95], wider strokes.
+	'A': {cat(dg(0.18, 0.95, 0.50, 0.05), dg(0.50, 0.05, 0.82, 0.95), s(hs(0.62, 0.30, 0.70))), 0},
+	'B': {cat(s(vs(0.25, 0.05, 0.95), hs(0.05, 0.25, 0.70), hs(0.50, 0.25, 0.70), hs(0.95, 0.25, 0.70), vs(0.75, 0.05, 0.50), vs(0.78, 0.50, 0.95))), 4},
+	'C': {cat(s(hs(0.08, 0.30, 0.78), hs(0.92, 0.30, 0.78), vs(0.22, 0.08, 0.92))), 2},
+	'D': {cat(s(vs(0.25, 0.05, 0.95), hs(0.05, 0.25, 0.68), hs(0.95, 0.25, 0.68), vs(0.78, 0.12, 0.88))), 2},
+	'E': {cat(s(vs(0.25, 0.05, 0.95), hs(0.05, 0.25, 0.78), hs(0.50, 0.25, 0.70), hs(0.95, 0.25, 0.78))), 0},
+	'F': {cat(s(vs(0.25, 0.05, 0.95), hs(0.05, 0.25, 0.78), hs(0.50, 0.25, 0.70))), 0},
+	'G': {cat(s(hs(0.08, 0.30, 0.78), hs(0.92, 0.30, 0.78), vs(0.22, 0.08, 0.92), vs(0.78, 0.55, 0.92), hs(0.55, 0.55, 0.78))), 2},
+	'H': {cat(s(vs(0.25, 0.05, 0.95), vs(0.75, 0.05, 0.95), hs(0.50, 0.25, 0.75))), 0},
+	'I': {cat(s(vs(0.50, 0.05, 0.95), hs(0.05, 0.30, 0.70), hs(0.95, 0.30, 0.70))), 0},
+	'J': {cat(s(vs(0.65, 0.05, 0.90), hs(0.92, 0.30, 0.65), hs(0.05, 0.40, 0.85))), 1},
+	'K': {cat(s(vs(0.25, 0.05, 0.95)), dg(0.30, 0.52, 0.78, 0.05), dg(0.34, 0.50, 0.80, 0.95)), 0},
+	'L': {cat(s(vs(0.25, 0.05, 0.95), hs(0.95, 0.25, 0.78))), 0},
+	'M': {cat(s(vs(0.18, 0.05, 0.95), vs(0.82, 0.05, 0.95)), dg(0.22, 0.05, 0.50, 0.55), dg(0.50, 0.55, 0.78, 0.05)), 0},
+	'N': {cat(s(vs(0.22, 0.05, 0.95), vs(0.78, 0.05, 0.95)), dg(0.26, 0.05, 0.74, 0.95)), 0},
+	'O': {cat(s(vs(0.22, 0.12, 0.88), vs(0.78, 0.12, 0.88), hs(0.08, 0.28, 0.72), hs(0.92, 0.28, 0.72))), 4},
+	'P': {cat(s(vs(0.25, 0.05, 0.95), hs(0.05, 0.25, 0.70), hs(0.52, 0.25, 0.70), vs(0.75, 0.05, 0.52))), 2},
+	'Q': {cat(s(vs(0.22, 0.12, 0.88), vs(0.78, 0.12, 0.88), hs(0.08, 0.28, 0.72), hs(0.92, 0.28, 0.72)), dg(0.58, 0.70, 0.85, 0.98)), 4},
+	'R': {cat(s(vs(0.25, 0.05, 0.95), hs(0.05, 0.25, 0.70), hs(0.52, 0.25, 0.70), vs(0.75, 0.05, 0.52)), dg(0.45, 0.52, 0.80, 0.95)), 2},
+	'S': {cat(s(hs(0.08, 0.28, 0.75), hs(0.50, 0.28, 0.72), hs(0.92, 0.25, 0.72), vs(0.22, 0.08, 0.50), vs(0.78, 0.50, 0.92))), 3},
+	'T': {cat(s(hs(0.08, 0.15, 0.85), vs(0.50, 0.08, 0.95))), 0},
+	'U': {cat(s(vs(0.22, 0.05, 0.88), vs(0.78, 0.05, 0.88), hs(0.92, 0.28, 0.72))), 2},
+	'V': {cat(dg(0.18, 0.05, 0.50, 0.95), dg(0.50, 0.95, 0.82, 0.05)), 0},
+	'W': {cat(dg(0.10, 0.05, 0.30, 0.95), dg(0.30, 0.95, 0.50, 0.40), dg(0.50, 0.40, 0.70, 0.95), dg(0.70, 0.95, 0.90, 0.05)), 0},
+	'X': {cat(dg(0.20, 0.05, 0.80, 0.95), dg(0.20, 0.95, 0.80, 0.05)), 0},
+	'Y': {cat(dg(0.20, 0.05, 0.50, 0.50), dg(0.50, 0.50, 0.80, 0.05), s(vs(0.50, 0.50, 0.95))), 0},
+	'Z': {cat(s(hs(0.08, 0.22, 0.78), hs(0.92, 0.22, 0.78)), dg(0.25, 0.92, 0.75, 0.08)), 0},
+
+	// Digits.
+	'0': {cat(s(vs(0.25, 0.12, 0.88), vs(0.75, 0.12, 0.88), hs(0.08, 0.30, 0.70), hs(0.92, 0.30, 0.70)), dg(0.35, 0.70, 0.65, 0.30)), 4},
+	'1': {cat(s(vs(0.55, 0.05, 0.95)), dg(0.35, 0.25, 0.55, 0.05)), 0},
+	'2': {cat(s(hs(0.10, 0.28, 0.72), vs(0.75, 0.10, 0.45), hs(0.95, 0.25, 0.78)), dg(0.28, 0.92, 0.72, 0.48)), 2},
+	'3': {cat(s(hs(0.08, 0.28, 0.72), hs(0.50, 0.35, 0.72), hs(0.92, 0.28, 0.72), vs(0.75, 0.08, 0.92))), 3},
+	'4': {cat(s(vs(0.68, 0.05, 0.95), hs(0.62, 0.20, 0.82)), dg(0.25, 0.62, 0.65, 0.05)), 0},
+	'5': {cat(s(hs(0.08, 0.25, 0.75), vs(0.25, 0.08, 0.48), hs(0.48, 0.25, 0.70), vs(0.75, 0.48, 0.90), hs(0.92, 0.25, 0.72))), 2},
+	'6': {cat(s(vs(0.25, 0.15, 0.88), hs(0.10, 0.32, 0.72), hs(0.50, 0.28, 0.70), hs(0.92, 0.30, 0.70), vs(0.75, 0.50, 0.88))), 3},
+	'7': {cat(s(hs(0.08, 0.22, 0.78)), dg(0.42, 0.95, 0.76, 0.10)), 0},
+	'8': {cat(s(vs(0.25, 0.10, 0.90), vs(0.75, 0.10, 0.90), hs(0.08, 0.30, 0.70), hs(0.50, 0.30, 0.70), hs(0.92, 0.30, 0.70))), 5},
+	'9': {cat(s(vs(0.75, 0.12, 0.85), hs(0.08, 0.30, 0.68), hs(0.50, 0.30, 0.72), hs(0.90, 0.28, 0.68), vs(0.25, 0.12, 0.50))), 3},
+
+	// Symbols. Deliberately sparse shapes for the small punctuation marks,
+	// which the paper reports as the least-overdraw and hardest keys.
+	'.':  {s(dot(0.50, 0.88)), 0},
+	',':  {s(dot(0.50, 0.86), vs(0.48, 0.90, 1.00)), 0},
+	':':  {s(dot(0.50, 0.50), dot(0.50, 0.88)), 0},
+	';':  {s(dot(0.50, 0.50), dot(0.50, 0.86), vs(0.48, 0.90, 1.00)), 0},
+	'\'': {s(vs(0.50, 0.05, 0.28)), 0},
+	'"':  {s(vs(0.40, 0.05, 0.28), vs(0.60, 0.05, 0.28)), 0},
+	'!':  {cat(s(vs(0.50, 0.05, 0.65), dot(0.50, 0.88))), 0},
+	'?':  {cat(s(hs(0.10, 0.30, 0.70), vs(0.72, 0.10, 0.40), vs(0.50, 0.45, 0.65), dot(0.50, 0.88))), 2},
+	'-':  {s(hs(0.50, 0.25, 0.75)), 0},
+	'_':  {s(hs(0.97, 0.15, 0.85)), 0},
+	'+':  {s(hs(0.50, 0.22, 0.78), vs(0.50, 0.25, 0.78)), 0},
+	'=':  {s(hs(0.40, 0.22, 0.78), hs(0.62, 0.22, 0.78)), 0},
+	'*':  {cat(s(vs(0.50, 0.20, 0.62)), dg(0.32, 0.26, 0.68, 0.56), dg(0.32, 0.56, 0.68, 0.26)), 0},
+	'/':  {cat(dg(0.25, 0.95, 0.75, 0.05)), 0},
+	'\\': {cat(dg(0.25, 0.05, 0.75, 0.95)), 0},
+	'(':  {cat(s(vs(0.48, 0.15, 0.85), hs(0.10, 0.48, 0.68), hs(0.90, 0.48, 0.68))), 2},
+	')':  {cat(s(vs(0.52, 0.15, 0.85), hs(0.10, 0.32, 0.52), hs(0.90, 0.32, 0.52))), 2},
+	'@':  {cat(s(vs(0.15, 0.25, 0.80), vs(0.85, 0.20, 0.70), hs(0.10, 0.25, 0.75), hs(0.92, 0.28, 0.80), vs(0.42, 0.38, 0.68), vs(0.64, 0.35, 0.70), hs(0.35, 0.42, 0.64), hs(0.68, 0.42, 0.70))), 5},
+	'#':  {s(vs(0.38, 0.10, 0.90), vs(0.62, 0.10, 0.90), hs(0.38, 0.18, 0.82), hs(0.65, 0.18, 0.82)), 0},
+	'$':  {cat(s(hs(0.15, 0.28, 0.75), hs(0.52, 0.28, 0.72), hs(0.88, 0.25, 0.72), vs(0.25, 0.15, 0.52), vs(0.75, 0.52, 0.88), vs(0.50, 0.02, 0.98))), 3},
+	'&':  {cat(s(vs(0.30, 0.10, 0.55), hs(0.08, 0.32, 0.62), hs(0.55, 0.25, 0.60), vs(0.22, 0.55, 0.92), hs(0.92, 0.25, 0.70)), dg(0.45, 0.55, 0.82, 0.95)), 4},
+	'%':  {cat(s(dot(0.28, 0.22), dot(0.72, 0.80)), dg(0.25, 0.92, 0.75, 0.08)), 2},
+	'^':  {cat(dg(0.32, 0.35, 0.50, 0.10), dg(0.50, 0.10, 0.68, 0.35)), 0},
+	'~':  {cat(s(hs(0.48, 0.20, 0.45), hs(0.55, 0.55, 0.80)), dg(0.42, 0.55, 0.58, 0.48)), 2},
+	'`':  {cat(dg(0.42, 0.05, 0.58, 0.25)), 0},
+	'<':  {cat(dg(0.70, 0.20, 0.30, 0.50), dg(0.30, 0.50, 0.70, 0.80)), 0},
+	'>':  {cat(dg(0.30, 0.20, 0.70, 0.50), dg(0.70, 0.50, 0.30, 0.80)), 0},
+	'|':  {s(vs(0.50, 0.02, 0.98)), 0},
+	'[':  {s(vs(0.40, 0.05, 0.95), hs(0.08, 0.40, 0.65), hs(0.92, 0.40, 0.65)), 0},
+	']':  {s(vs(0.60, 0.05, 0.95), hs(0.08, 0.35, 0.60), hs(0.92, 0.35, 0.60)), 0},
+	'{':  {cat(s(vs(0.48, 0.10, 0.90), hs(0.08, 0.48, 0.68), hs(0.92, 0.48, 0.68), hs(0.50, 0.30, 0.48))), 2},
+	'}':  {cat(s(vs(0.52, 0.10, 0.90), hs(0.08, 0.32, 0.52), hs(0.92, 0.32, 0.52), hs(0.50, 0.52, 0.70))), 2},
+
+	// Space renders nothing but still occupies advance width.
+	' ': {nil, 0},
+
+	// Password echo bullet and UI key icons.
+	'•': {s(dot(0.50, 0.60)), 1},                                                                                                                                                                       // •
+	'⇧': {cat(dg(0.20, 0.50, 0.50, 0.10), dg(0.50, 0.10, 0.80, 0.50), s(vs(0.50, 0.50, 0.90))), 0},                                                                                                     // ⇧ shift
+	'⌫': {cat(s(hs(0.30, 0.30, 0.85), hs(0.70, 0.30, 0.85), vs(0.85, 0.30, 0.70)), dg(0.12, 0.50, 0.30, 0.30), dg(0.12, 0.50, 0.30, 0.70), dg(0.42, 0.38, 0.66, 0.62), dg(0.42, 0.62, 0.66, 0.38)), 0}, // ⌫ backspace
+	'⏎': {cat(s(vs(0.78, 0.15, 0.60), hs(0.60, 0.25, 0.78)), dg(0.15, 0.60, 0.32, 0.45), dg(0.15, 0.60, 0.32, 0.75)), 0},                                                                               // ⏎ enter
+	'⌨': {s(dot(0.30, 0.50), dot(0.50, 0.50), dot(0.70, 0.50)), 0},                                                                                                                                     // layout-switch key icon
+}
+
+// Lookup returns the glyph for r and whether it is known.
+func Lookup(r rune) (Glyph, bool) {
+	g, ok := table[r]
+	return g, ok
+}
+
+// MustLookup returns the glyph for r, falling back to '?' for unknown
+// characters (matching font-renderer tofu behavior deterministically).
+func MustLookup(r rune) Glyph {
+	if g, ok := table[r]; ok {
+		return g
+	}
+	return table['?']
+}
+
+// Runes returns every rune in the font, sorted, for enumeration in tests
+// and offline collection.
+func Runes() []rune {
+	out := make([]rune, 0, len(table))
+	for r := range table {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Metrics summarizes a glyph rendered into a pixel box.
+type Metrics struct {
+	PixelArea int // total covered pixels (strokes may overlap; counted per stroke, as a GPU does)
+	Triangles int // tessellated triangle count
+	Vertices  int // tessellated vertex count
+	Strokes   int // number of stroke quads
+}
+
+// TessFactor returns the number of triangles a curved segment tessellates
+// into at the given pixel height. Real text renderers subdivide curves
+// proportionally to on-screen size; 6 px per segment matches Skia's default
+// tolerance closely enough for counter modeling.
+func TessFactor(boxH int) int {
+	f := boxH / 6
+	if f < 2 {
+		f = 2
+	}
+	return f
+}
+
+// MeasureIn computes the metrics of g rendered into box.
+func (g Glyph) MeasureIn(box geom.Rect) Metrics {
+	var m Metrics
+	m.Strokes = len(g.Strokes)
+	for _, s := range g.Strokes {
+		r := s.Scale(box)
+		m.PixelArea += r.Area()
+	}
+	tess := TessFactor(box.H())
+	m.Triangles = 2*len(g.Strokes) + g.Curves*tess
+	// Stroke quad = 4 vertices; tessellated curve fan = triangles + 2.
+	m.Vertices = 4 * len(g.Strokes)
+	if g.Curves > 0 {
+		m.Vertices += g.Curves * (tess + 2)
+	}
+	return m
+}
+
+// StrokeRects returns the pixel rectangles of g's strokes inside box.
+func (g Glyph) StrokeRects(box geom.Rect) []geom.Rect {
+	out := make([]geom.Rect, 0, len(g.Strokes))
+	for _, s := range g.Strokes {
+		out = append(out, s.Scale(box))
+	}
+	return out
+}
+
+// InkBounds returns the bounding box of the glyph's ink in em coordinates,
+// i.e. the tight atlas-quad extents a texture-atlas text renderer would
+// use for this character. The zero glyph (space) returns an empty box.
+func (g Glyph) InkBounds() geom.RectF {
+	if len(g.Strokes) == 0 {
+		return geom.RectF{}
+	}
+	b := g.Strokes[0]
+	for _, s := range g.Strokes[1:] {
+		if s.X0 < b.X0 {
+			b.X0 = s.X0
+		}
+		if s.Y0 < b.Y0 {
+			b.Y0 = s.Y0
+		}
+		if s.X1 > b.X1 {
+			b.X1 = s.X1
+		}
+		if s.Y1 > b.Y1 {
+			b.Y1 = s.Y1
+		}
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+package glyph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpuleak/internal/geom"
+)
+
+var popupBox = geom.XYWH(500, 1800, 96, 120)
+
+func TestAllBasicRunesPresent(t *testing.T) {
+	want := "abcdefghijklmnopqrstuvwxyz" +
+		"ABCDEFGHIJKLMNOPQRSTUVWXYZ" +
+		"1234567890" +
+		`@#$&-+()/*"':;!?,. ` +
+		"•⇧⌫⏎⌨"
+	for _, r := range want {
+		if _, ok := Lookup(r); !ok {
+			t.Errorf("missing glyph for %q", r)
+		}
+	}
+}
+
+func TestStrokesWithinEmSquare(t *testing.T) {
+	for _, r := range Runes() {
+		g := MustLookup(r)
+		for i, s := range g.Strokes {
+			// Real fonts overshoot the em square by up to the stroke
+			// half-width (e.g. round letters at the baseline); allow that.
+			if s.X0 < -0.08 || s.Y0 < -0.08 || s.X1 > 1.08 || s.Y1 > 1.08 {
+				t.Errorf("glyph %q stroke %d escapes em square: %+v", r, i, s)
+			}
+			if s.X1 < s.X0 || s.Y1 < s.Y0 {
+				t.Errorf("glyph %q stroke %d inverted: %+v", r, i, s)
+			}
+		}
+		if g.Curves < 0 {
+			t.Errorf("glyph %q negative curves", r)
+		}
+	}
+}
+
+func TestMetricsDeterministic(t *testing.T) {
+	for _, r := range Runes() {
+		a := MustLookup(r).MeasureIn(popupBox)
+		b := MustLookup(r).MeasureIn(popupBox)
+		if a != b {
+			t.Fatalf("glyph %q metrics not deterministic: %+v vs %+v", r, a, b)
+		}
+	}
+}
+
+// The side channel requires that distinct characters produce distinct
+// coverage signatures. A handful of near-collisions among tiny punctuation
+// is expected (the paper's hardest keys), but the bulk of the alphabet must
+// separate.
+func TestSignatureDistinctness(t *testing.T) {
+	type sig struct{ area, tris int }
+	seen := make(map[sig][]rune)
+	alphabet := "abcdefghijklmnopqrstuvwxyz1234567890"
+	for _, r := range alphabet {
+		m := MustLookup(r).MeasureIn(popupBox)
+		k := sig{m.PixelArea, m.Triangles}
+		seen[k] = append(seen[k], r)
+	}
+	collisions := 0
+	for k, rs := range seen {
+		if len(rs) > 1 {
+			collisions += len(rs) - 1
+			t.Logf("collision at %+v: %q", k, string(rs))
+		}
+	}
+	if collisions > 2 {
+		t.Fatalf("too many exact signature collisions in a-z0-9: %d", collisions)
+	}
+}
+
+func TestPunctuationSmallest(t *testing.T) {
+	dotArea := MustLookup('.').MeasureIn(popupBox).PixelArea
+	for _, r := range "abcdefghijklmnopqrstuvwxyz" {
+		if a := MustLookup(r).MeasureIn(popupBox).PixelArea; a <= dotArea {
+			t.Errorf("letter %q area %d not larger than '.' area %d", r, a, dotArea)
+		}
+	}
+}
+
+func TestWideVsThin(t *testing.T) {
+	w := MustLookup('w').MeasureIn(popupBox)
+	i := MustLookup('i').MeasureIn(popupBox)
+	if w.PixelArea <= i.PixelArea {
+		t.Fatalf("'w' area %d <= 'i' area %d", w.PixelArea, i.PixelArea)
+	}
+}
+
+func TestSpaceRendersNothing(t *testing.T) {
+	m := MustLookup(' ').MeasureIn(popupBox)
+	if m.PixelArea != 0 || m.Triangles != 0 {
+		t.Fatalf("space has coverage: %+v", m)
+	}
+}
+
+func TestMustLookupFallback(t *testing.T) {
+	q := MustLookup('?')
+	fallback := MustLookup('☃') // snowman is not in the font
+	if len(fallback.Strokes) != len(q.Strokes) || fallback.Curves != q.Curves {
+		t.Fatal("unknown rune did not fall back to '?'")
+	}
+}
+
+func TestTessFactorScalesWithSize(t *testing.T) {
+	if TessFactor(12) >= TessFactor(120) {
+		t.Fatal("tessellation must refine with size")
+	}
+	if TessFactor(1) < 2 {
+		t.Fatal("tessellation floor violated")
+	}
+}
+
+// Property: metrics grow with box size. Pixel rounding can cost a single
+// row/column per stroke, so allow that much slack.
+func TestMetricsScaleMonotone(t *testing.T) {
+	f := func(scale uint8) bool {
+		grow := int(scale)%120 + 8
+		small := geom.XYWH(0, 0, 48, 60)
+		big := geom.XYWH(0, 0, 48+grow, 60+grow)
+		for _, r := range "awx8" {
+			g := MustLookup(r)
+			ms := g.MeasureIn(small)
+			mb := g.MeasureIn(big)
+			slack := len(g.Strokes) * (48 + grow)
+			if mb.PixelArea+slack < ms.PixelArea || mb.Triangles < ms.Triangles {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrokeRectsMatchMetrics(t *testing.T) {
+	g := MustLookup('h')
+	rects := g.StrokeRects(popupBox)
+	if len(rects) != len(g.Strokes) {
+		t.Fatalf("StrokeRects len %d != strokes %d", len(rects), len(g.Strokes))
+	}
+	total := 0
+	for _, r := range rects {
+		total += r.Area()
+	}
+	if m := g.MeasureIn(popupBox); m.PixelArea != total {
+		t.Fatalf("area mismatch: metrics %d vs rects %d", m.PixelArea, total)
+	}
+}
+
+func TestRunesSortedAndComplete(t *testing.T) {
+	rs := Runes()
+	if len(rs) < 80 {
+		t.Fatalf("font too small: %d runes", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1] >= rs[i] {
+			t.Fatal("Runes not sorted")
+		}
+	}
+}

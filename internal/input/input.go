@@ -1,0 +1,301 @@
+// Package input models the human side of the experiments: the five
+// student volunteers' key press durations and inter-key intervals
+// (Figure 16), typing speed classes (§7.2), and the input scripts the bot
+// program replays against the victim device (offline collection, accuracy
+// runs, and the practical sessions of §8).
+package input
+
+import (
+	"math"
+
+	"gpuleak/internal/sim"
+)
+
+// Volunteer is one §7 participant's typing-timing profile. Press durations
+// and inter-key intervals are log-normally distributed, the standard model
+// for human keystroke dynamics.
+type Volunteer struct {
+	Name string
+	// Median press duration and its log-space spread.
+	DurMedian sim.Time
+	DurSigma  float64
+	// Median press-to-press interval and its log-space spread.
+	IntMedian sim.Time
+	IntSigma  float64
+}
+
+// Volunteers are the five profiles; medians and spreads are chosen to
+// reproduce the heterogeneity visible in Figure 16 (durations roughly
+// 50-200 ms, intervals roughly 0.1-0.7 s).
+var Volunteers = []Volunteer{
+	{Name: "volunteer-1", DurMedian: 90 * sim.Millisecond, DurSigma: 0.25, IntMedian: 220 * sim.Millisecond, IntSigma: 0.35},
+	{Name: "volunteer-2", DurMedian: 70 * sim.Millisecond, DurSigma: 0.20, IntMedian: 300 * sim.Millisecond, IntSigma: 0.30},
+	{Name: "volunteer-3", DurMedian: 110 * sim.Millisecond, DurSigma: 0.30, IntMedian: 420 * sim.Millisecond, IntSigma: 0.40},
+	{Name: "volunteer-4", DurMedian: 60 * sim.Millisecond, DurSigma: 0.18, IntMedian: 180 * sim.Millisecond, IntSigma: 0.25},
+	{Name: "volunteer-5", DurMedian: 95 * sim.Millisecond, DurSigma: 0.28, IntMedian: 520 * sim.Millisecond, IntSigma: 0.45},
+}
+
+// SampleDuration draws one key press duration, clamped to human limits.
+func (v Volunteer) SampleDuration(r *sim.Rand) sim.Time {
+	d := sim.Time(r.LogNormal(math.Log(float64(v.DurMedian)), v.DurSigma))
+	return clamp(d, 40*sim.Millisecond, 250*sim.Millisecond)
+}
+
+// SampleInterval draws one press-to-press interval, clamped to the minimum
+// credible repeat rate (75 ms, the paper's Ti) and a 1.5 s maximum.
+func (v Volunteer) SampleInterval(r *sim.Rand) sim.Time {
+	d := sim.Time(r.LogNormal(math.Log(float64(v.IntMedian)), v.IntSigma))
+	return clamp(d, 80*sim.Millisecond, 1500*sim.Millisecond)
+}
+
+func clamp(t, lo, hi sim.Time) sim.Time {
+	if t < lo {
+		return lo
+	}
+	if t > hi {
+		return hi
+	}
+	return t
+}
+
+// Speed partitions intervals as in §7.2.
+type Speed int
+
+// Speed classes: fast (<0.24 s), medium (0.24-0.4 s), slow (>0.4 s), or
+// unconstrained.
+const (
+	SpeedAny Speed = iota
+	SpeedFast
+	SpeedMedium
+	SpeedSlow
+)
+
+func (s Speed) String() string {
+	switch s {
+	case SpeedFast:
+		return "fast"
+	case SpeedMedium:
+		return "medium"
+	case SpeedSlow:
+		return "slow"
+	default:
+		return "any"
+	}
+}
+
+// Matches reports whether an interval belongs to the speed class.
+func (s Speed) Matches(t sim.Time) bool {
+	switch s {
+	case SpeedFast:
+		return t < 240*sim.Millisecond
+	case SpeedMedium:
+		return t >= 240*sim.Millisecond && t <= 400*sim.Millisecond
+	case SpeedSlow:
+		return t > 400*sim.Millisecond
+	default:
+		return true
+	}
+}
+
+// SampleIntervalWithSpeed rejection-samples an interval in the class.
+func (v Volunteer) SampleIntervalWithSpeed(r *sim.Rand, s Speed) sim.Time {
+	for i := 0; i < 256; i++ {
+		t := v.SampleInterval(r)
+		if s.Matches(t) {
+			return t
+		}
+	}
+	// Volunteer distribution barely reaches the class; take the boundary.
+	switch s {
+	case SpeedFast:
+		return 180 * sim.Millisecond
+	case SpeedMedium:
+		return 320 * sim.Millisecond
+	default:
+		return 520 * sim.Millisecond
+	}
+}
+
+// EventKind classifies script events.
+type EventKind int
+
+// Script event kinds.
+const (
+	EvPress      EventKind = iota // type one character (popup + echo)
+	EvBackspace                   // delete one character (echo only)
+	EvSwitchAway                  // leave the target app
+	EvSwitchBack                  // return to the target app
+	EvNotifView                   // pull down / glance at the notification bar
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvPress:
+		return "press"
+	case EvBackspace:
+		return "backspace"
+	case EvSwitchAway:
+		return "switch-away"
+	case EvSwitchBack:
+		return "switch-back"
+	case EvNotifView:
+		return "notif-view"
+	default:
+		return "event"
+	}
+}
+
+// Event is one scripted user action.
+type Event struct {
+	Kind EventKind
+	R    rune     // for EvPress
+	At   sim.Time // press-down time
+	Dur  sim.Time // press duration (EvPress/EvBackspace)
+}
+
+// Script is a time-ordered sequence of user actions.
+type Script struct {
+	Events []Event
+}
+
+// End returns the time of the last event plus its duration.
+func (s *Script) End() sim.Time {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	last := s.Events[len(s.Events)-1]
+	return last.At + last.Dur
+}
+
+// ExpectedText replays presses and backspaces into the final credential
+// string — the eavesdropping ground truth.
+func (s *Script) ExpectedText() string {
+	var out []rune
+	for _, e := range s.Events {
+		switch e.Kind {
+		case EvPress:
+			out = append(out, e.R)
+		case EvBackspace:
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		}
+	}
+	return string(out)
+}
+
+// PressCount returns the number of character presses (excluding
+// backspaces).
+func (s *Script) PressCount() int {
+	n := 0
+	for _, e := range s.Events {
+		if e.Kind == EvPress {
+			n++
+		}
+	}
+	return n
+}
+
+// Typing builds a plain typing script for text, using the volunteer's
+// timing, starting at start.
+func Typing(text string, v Volunteer, speed Speed, r *sim.Rand, start sim.Time) Script {
+	var s Script
+	t := start
+	for i, c := range text {
+		if i > 0 {
+			t += v.SampleIntervalWithSpeed(r, speed)
+		}
+		s.Events = append(s.Events, Event{Kind: EvPress, R: c, At: t, Dur: v.SampleDuration(r)})
+	}
+	return s
+}
+
+// RandomText draws n runes uniformly from alphabet.
+func RandomText(r *sim.Rand, alphabet []rune, n int) string {
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(out)
+}
+
+// PracticalOptions tunes the §8 practical-session generator.
+type PracticalOptions struct {
+	BackspaceProb float64 // per-character probability of a correction
+	SwitchProb    float64 // per-character probability of an app excursion
+	NotifViewProb float64 // per-character probability of a glance
+	ExcursionMin  sim.Time
+	ExcursionMax  sim.Time
+}
+
+// DefaultPracticalOptions mirrors the behavior mix in Figure 27.
+func DefaultPracticalOptions() PracticalOptions {
+	return PracticalOptions{
+		BackspaceProb: 0.06,
+		SwitchProb:    0.04,
+		NotifViewProb: 0.03,
+		ExcursionMin:  2 * sim.Second,
+		ExcursionMax:  8 * sim.Second,
+	}
+}
+
+// Practical builds a §8-style session: typing text with random
+// corrections, app switches and notification glances interleaved.
+func Practical(text string, v Volunteer, opts PracticalOptions, r *sim.Rand, start sim.Time) Script {
+	var s Script
+	t := start
+	first := true
+	emit := func(k EventKind, c rune, dur sim.Time) {
+		s.Events = append(s.Events, Event{Kind: k, R: c, At: t, Dur: dur})
+	}
+	for _, c := range text {
+		if !first {
+			t += v.SampleInterval(r)
+		}
+		first = false
+		emit(EvPress, c, v.SampleDuration(r))
+		t += s.Events[len(s.Events)-1].Dur
+
+		if r.Bool(opts.BackspaceProb) {
+			// Mistype: press a wrong neighbor, delete it, retype intent is
+			// handled by the caller's text; here we insert press+backspace.
+			t += v.SampleInterval(r)
+			emit(EvPress, wrongNeighbor(c, r), v.SampleDuration(r))
+			t += s.Events[len(s.Events)-1].Dur
+			t += v.SampleInterval(r)
+			emit(EvBackspace, 0, v.SampleDuration(r))
+			t += s.Events[len(s.Events)-1].Dur
+		}
+		if r.Bool(opts.SwitchProb) {
+			t += v.SampleInterval(r)
+			emit(EvSwitchAway, 0, 0)
+			t += opts.ExcursionMin + sim.Time(r.Float64()*float64(opts.ExcursionMax-opts.ExcursionMin))
+			emit(EvSwitchBack, 0, 0)
+			t += 600 * sim.Millisecond
+		}
+		if r.Bool(opts.NotifViewProb) {
+			t += v.SampleInterval(r)
+			emit(EvNotifView, 0, 0)
+			t += 800 * sim.Millisecond
+		}
+	}
+	return s
+}
+
+// wrongNeighbor returns a plausible mistyped character near c.
+func wrongNeighbor(c rune, r *sim.Rand) rune {
+	const row = "qwertyuiopasdfghjklzxcvbnm"
+	for i, q := range row {
+		if q == c {
+			j := i + 1
+			if r.Bool(0.5) && i > 0 {
+				j = i - 1
+			}
+			if j >= len(row) {
+				j = i - 1
+			}
+			return rune(row[j])
+		}
+	}
+	return 'x'
+}

@@ -1,0 +1,222 @@
+package input
+
+import (
+	"testing"
+
+	"gpuleak/internal/sim"
+)
+
+func TestFiveVolunteers(t *testing.T) {
+	if len(Volunteers) != 5 {
+		t.Fatalf("volunteer count = %d", len(Volunteers))
+	}
+	names := map[string]bool{}
+	for _, v := range Volunteers {
+		if names[v.Name] {
+			t.Fatalf("duplicate volunteer %s", v.Name)
+		}
+		names[v.Name] = true
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	r := sim.NewRand(1)
+	for _, v := range Volunteers {
+		for i := 0; i < 2000; i++ {
+			d := v.SampleDuration(r)
+			if d < 40*sim.Millisecond || d > 250*sim.Millisecond {
+				t.Fatalf("%s duration out of range: %v", v.Name, d)
+			}
+			iv := v.SampleInterval(r)
+			if iv < 80*sim.Millisecond || iv > 1500*sim.Millisecond {
+				t.Fatalf("%s interval out of range: %v", v.Name, iv)
+			}
+		}
+	}
+}
+
+func TestVolunteersHeterogeneous(t *testing.T) {
+	// Figure 16 shows clearly distinct clusters per volunteer.
+	r := sim.NewRand(2)
+	means := make([]float64, len(Volunteers))
+	for i, v := range Volunteers {
+		var sum sim.Time
+		for j := 0; j < 500; j++ {
+			sum += v.SampleInterval(r)
+		}
+		means[i] = float64(sum) / 500
+	}
+	lo, hi := means[0], means[0]
+	for _, m := range means {
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if hi/lo < 1.5 {
+		t.Fatalf("volunteer interval means too uniform: %v", means)
+	}
+}
+
+func TestSpeedMatches(t *testing.T) {
+	cases := []struct {
+		s    Speed
+		t    sim.Time
+		want bool
+	}{
+		{SpeedFast, 100 * sim.Millisecond, true},
+		{SpeedFast, 300 * sim.Millisecond, false},
+		{SpeedMedium, 300 * sim.Millisecond, true},
+		{SpeedMedium, 500 * sim.Millisecond, false},
+		{SpeedSlow, 500 * sim.Millisecond, true},
+		{SpeedSlow, 100 * sim.Millisecond, false},
+		{SpeedAny, 100 * sim.Millisecond, true},
+	}
+	for _, c := range cases {
+		if got := c.s.Matches(c.t); got != c.want {
+			t.Errorf("%v.Matches(%v) = %v", c.s, c.t, got)
+		}
+	}
+}
+
+func TestSampleIntervalWithSpeed(t *testing.T) {
+	r := sim.NewRand(3)
+	for _, sp := range []Speed{SpeedFast, SpeedMedium, SpeedSlow} {
+		for _, v := range Volunteers {
+			for i := 0; i < 50; i++ {
+				iv := v.SampleIntervalWithSpeed(r, sp)
+				if !sp.Matches(iv) {
+					t.Fatalf("%s: interval %v not in class %v", v.Name, iv, sp)
+				}
+			}
+		}
+	}
+}
+
+func TestTypingScript(t *testing.T) {
+	r := sim.NewRand(4)
+	s := Typing("hello", Volunteers[0], SpeedAny, r, 1000)
+	if len(s.Events) != 5 {
+		t.Fatalf("event count = %d", len(s.Events))
+	}
+	if s.Events[0].At != 1000 {
+		t.Fatalf("start time = %v", s.Events[0].At)
+	}
+	prev := sim.Time(0)
+	for i, e := range s.Events {
+		if e.Kind != EvPress {
+			t.Fatalf("event %d kind = %v", i, e.Kind)
+		}
+		if e.At < prev {
+			t.Fatal("script not time-ordered")
+		}
+		prev = e.At
+	}
+	if got := s.ExpectedText(); got != "hello" {
+		t.Fatalf("ExpectedText = %q", got)
+	}
+	if s.PressCount() != 5 {
+		t.Fatalf("PressCount = %d", s.PressCount())
+	}
+	if s.End() <= s.Events[4].At {
+		t.Fatal("End before last press release")
+	}
+}
+
+func TestTypingIntervalRespectsSpeed(t *testing.T) {
+	r := sim.NewRand(5)
+	s := Typing("abcdefgh", Volunteers[2], SpeedFast, r, 0)
+	for i := 1; i < len(s.Events); i++ {
+		gap := s.Events[i].At - s.Events[i-1].At
+		if gap >= 240*sim.Millisecond {
+			t.Fatalf("fast script gap = %v", gap)
+		}
+	}
+}
+
+func TestExpectedTextWithBackspaces(t *testing.T) {
+	s := Script{Events: []Event{
+		{Kind: EvPress, R: 'a'},
+		{Kind: EvPress, R: 'b'},
+		{Kind: EvBackspace},
+		{Kind: EvPress, R: 'c'},
+		{Kind: EvBackspace},
+		{Kind: EvBackspace}, // over-delete is a no-op
+		{Kind: EvPress, R: 'd'},
+	}}
+	if got := s.ExpectedText(); got != "d" {
+		t.Fatalf("ExpectedText = %q, want \"d\"", got)
+	}
+}
+
+func TestRandomText(t *testing.T) {
+	r := sim.NewRand(6)
+	alphabet := []rune("abc123")
+	txt := RandomText(r, alphabet, 64)
+	if len([]rune(txt)) != 64 {
+		t.Fatalf("length = %d", len([]rune(txt)))
+	}
+	allowed := map[rune]bool{}
+	for _, c := range alphabet {
+		allowed[c] = true
+	}
+	for _, c := range txt {
+		if !allowed[c] {
+			t.Fatalf("rune %q not in alphabet", c)
+		}
+	}
+}
+
+func TestPracticalSessionContainsBehaviors(t *testing.T) {
+	r := sim.NewRand(7)
+	opts := DefaultPracticalOptions()
+	opts.BackspaceProb, opts.SwitchProb, opts.NotifViewProb = 0.5, 0.5, 0.5
+	s := Practical("abcdefghijkl", Volunteers[0], opts, r, 0)
+	kinds := map[EventKind]int{}
+	for _, e := range s.Events {
+		kinds[e.Kind]++
+	}
+	if kinds[EvBackspace] == 0 || kinds[EvSwitchAway] == 0 || kinds[EvNotifView] == 0 {
+		t.Fatalf("behavior mix missing: %v", kinds)
+	}
+	if kinds[EvSwitchAway] != kinds[EvSwitchBack] {
+		t.Fatalf("unbalanced switches: %v", kinds)
+	}
+	// Corrections cancel out: final text is the input text.
+	if got := s.ExpectedText(); got != "abcdefghijkl" {
+		t.Fatalf("ExpectedText = %q", got)
+	}
+}
+
+func TestPracticalOrdered(t *testing.T) {
+	r := sim.NewRand(8)
+	s := Practical("credential", Volunteers[1], DefaultPracticalOptions(), r, 0)
+	prev := sim.Time(-1)
+	for _, e := range s.Events {
+		if e.At < prev {
+			t.Fatal("practical script out of order")
+		}
+		prev = e.At
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvPress.String() != "press" || EvSwitchBack.String() != "switch-back" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestWrongNeighborNearby(t *testing.T) {
+	r := sim.NewRand(9)
+	for i := 0; i < 100; i++ {
+		n := wrongNeighbor('g', r)
+		if n != 'f' && n != 'h' {
+			t.Fatalf("neighbor of g = %q", n)
+		}
+	}
+	if wrongNeighbor('7', r) != 'x' {
+		t.Fatal("non-letter fallback broken")
+	}
+}

@@ -1,0 +1,367 @@
+// Package keyboard models Android on-screen keyboards: layouts (rows of
+// weighted keys over four pages), per-resolution key geometry, and the key
+// press popup whose GPU overdraw is the paper's side channel. Six popular
+// keyboards are provided matching §7.1 of the paper; they differ in
+// keyboard height, key padding, popup size and popup animation richness
+// (the source of the "duplication" artifact).
+package keyboard
+
+import (
+	"fmt"
+
+	"gpuleak/internal/geom"
+)
+
+// Page selects which character page the keyboard shows.
+type Page int
+
+// Keyboard pages.
+const (
+	PageLower Page = iota
+	PageUpper
+	PageNumber
+	PageSymbol
+	numPages
+)
+
+func (p Page) String() string {
+	switch p {
+	case PageLower:
+		return "lower"
+	case PageUpper:
+		return "upper"
+	case PageNumber:
+		return "number"
+	case PageSymbol:
+		return "symbol"
+	}
+	return fmt.Sprintf("page(%d)", int(p))
+}
+
+// Control runes used by layouts.
+const (
+	KeyShift     rune = '⇧'
+	KeyBackspace rune = '⌫'
+	KeyEnter     rune = '⏎'
+	KeySymbols   rune = '⌨' // page-switch key
+	KeySpace     rune = ' '
+)
+
+// KeyDef is one key in a row: its rune and its width weight relative to a
+// standard key.
+type KeyDef struct {
+	R rune
+	W float64
+}
+
+// Row is a horizontal run of keys.
+type Row []KeyDef
+
+func k(r rune) KeyDef             { return KeyDef{R: r, W: 1} }
+func kw(r rune, w float64) KeyDef { return KeyDef{R: r, W: w} }
+
+func rowOf(s string) Row {
+	var r Row
+	for _, c := range s {
+		r = append(r, k(c))
+	}
+	return r
+}
+
+// PopupStyle describes the key press popup of a keyboard.
+type PopupStyle struct {
+	// ScaleW/ScaleH size the popup relative to the key.
+	ScaleW, ScaleH float64
+	// RiseFrac lifts the popup above the key top by this fraction of key
+	// height.
+	RiseFrac float64
+	// AnimFrames is how many frames the popup entry animation draws.
+	AnimFrames int
+	// DupProb is the probability that the animation emits a second,
+	// identical counter delta (the paper's "duplication", §5.1).
+	DupProb float64
+}
+
+// Layout is a keyboard product: rows per page plus styling.
+type Layout struct {
+	Name string
+	// HeightFrac is the keyboard height as a fraction of screen height.
+	HeightFrac float64
+	// InsetFrac is per-key padding as a fraction of key width.
+	InsetFrac float64
+	// LabelScale sizes the key label glyph relative to the key.
+	LabelScale float64
+	Popup      PopupStyle
+	pages      [numPages][]Row
+}
+
+// qwertyPages builds the standard page set. Uppercase mirrors lowercase.
+func qwertyPages() [numPages][]Row {
+	lowerRows := []Row{
+		rowOf("qwertyuiop"),
+		rowOf("asdfghjkl"),
+		append(append(Row{kw(KeyShift, 1.5)}, rowOf("zxcvbnm")...), kw(KeyBackspace, 1.5)),
+		{kw(KeySymbols, 1.5), k(','), kw(KeySpace, 4), k('.'), kw(KeyEnter, 1.5)},
+	}
+	upperRows := []Row{
+		rowOf("QWERTYUIOP"),
+		rowOf("ASDFGHJKL"),
+		append(append(Row{kw(KeyShift, 1.5)}, rowOf("ZXCVBNM")...), kw(KeyBackspace, 1.5)),
+		{kw(KeySymbols, 1.5), k(','), kw(KeySpace, 4), k('.'), kw(KeyEnter, 1.5)},
+	}
+	numberRows := []Row{
+		rowOf("1234567890"),
+		rowOf("@#$&-+()/"),
+		append(append(Row{kw(KeySymbols, 1.5)}, rowOf(`*"':;!?`)...), kw(KeyBackspace, 1.5)),
+		{kw(KeyShift, 1.5), k(','), kw(KeySpace, 4), k('.'), kw(KeyEnter, 1.5)},
+	}
+	symbolRows := []Row{
+		rowOf("~`|•%^={}"),
+		rowOf(`\<>[]_+()`),
+		append(append(Row{kw(KeySymbols, 1.5)}, rowOf(`*"':;!?`)...), kw(KeyBackspace, 1.5)),
+		{kw(KeyShift, 1.5), k(','), kw(KeySpace, 4), k('.'), kw(KeyEnter, 1.5)},
+	}
+	return [numPages][]Row{lowerRows, upperRows, numberRows, symbolRows}
+}
+
+// The six keyboards evaluated in Figure 20. Popup/size parameters are the
+// visible differences between their UI designs; the qwerty page structure
+// is shared (all six are qwerty keyboards in the paper's experiments).
+var (
+	GBoard = &Layout{
+		Name: "gboard", HeightFrac: 0.36, InsetFrac: 0.06, LabelScale: 0.55,
+		Popup: PopupStyle{ScaleW: 1.35, ScaleH: 1.25, RiseFrac: 1.05, AnimFrames: 2, DupProb: 0.18},
+		pages: qwertyPages(),
+	}
+	Swift = &Layout{
+		Name: "swift", HeightFrac: 0.38, InsetFrac: 0.04, LabelScale: 0.56,
+		Popup: PopupStyle{ScaleW: 1.25, ScaleH: 1.20, RiseFrac: 1.00, AnimFrames: 2, DupProb: 0.11},
+		pages: qwertyPages(),
+	}
+	Sogou = &Layout{
+		Name: "sogou", HeightFrac: 0.40, InsetFrac: 0.07, LabelScale: 0.60,
+		Popup: PopupStyle{ScaleW: 1.45, ScaleH: 1.30, RiseFrac: 1.10, AnimFrames: 2, DupProb: 0.12},
+		pages: qwertyPages(),
+	}
+	Pinyin = &Layout{
+		Name: "pinyin", HeightFrac: 0.37, InsetFrac: 0.05, LabelScale: 0.57,
+		Popup: PopupStyle{ScaleW: 1.30, ScaleH: 1.22, RiseFrac: 0.95, AnimFrames: 2, DupProb: 0.12},
+		pages: qwertyPages(),
+	}
+	Go = &Layout{
+		Name: "go", HeightFrac: 0.35, InsetFrac: 0.08, LabelScale: 0.58,
+		Popup: PopupStyle{ScaleW: 1.40, ScaleH: 1.28, RiseFrac: 1.00, AnimFrames: 2, DupProb: 0.15},
+		pages: qwertyPages(),
+	}
+	Grammarly = &Layout{
+		Name: "grammarly", HeightFrac: 0.34, InsetFrac: 0.05, LabelScale: 0.55,
+		Popup: PopupStyle{ScaleW: 1.22, ScaleH: 1.18, RiseFrac: 0.98, AnimFrames: 2, DupProb: 0.10},
+		pages: qwertyPages(),
+	}
+)
+
+// All lists every modeled keyboard, in Figure-20 order.
+var All = []*Layout{Swift, GBoard, Sogou, Pinyin, Go, Grammarly}
+
+// ByName returns the layout with the given name, or nil.
+func ByName(name string) *Layout {
+	for _, l := range All {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// Rows returns the row definitions of a page.
+func (l *Layout) Rows(p Page) []Row {
+	if p < 0 || p >= numPages {
+		return nil
+	}
+	return l.pages[p]
+}
+
+// PageFor returns the page on which rune r can be typed. Runes on multiple
+// pages (',', '.', space, controls) resolve to the lowest page.
+func (l *Layout) PageFor(r rune) (Page, bool) {
+	for p := PageLower; p < numPages; p++ {
+		for _, row := range l.pages[p] {
+			for _, kd := range row {
+				if kd.R == r {
+					return p, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// Key is a concrete, positioned key.
+type Key struct {
+	Def      KeyDef
+	Page     Page
+	Rect     geom.Rect // full key cell
+	Face     geom.Rect // visible key cap (cell minus inset)
+	LabelBox geom.Rect // glyph box of the key label
+}
+
+// Rune returns the key's character.
+func (key Key) Rune() rune { return key.Def.R }
+
+// Geometry is a layout realized on a concrete screen.
+type Geometry struct {
+	Layout *Layout
+	Page   Page
+	Screen geom.Size
+	Bounds geom.Rect // keyboard window
+	Keys   []Key
+	byRune map[rune]int
+}
+
+// Geometry positions every key of the given page on the screen. The
+// keyboard occupies the bottom HeightFrac of the screen, as Android IMEs
+// do.
+func (l *Layout) Geometry(screen geom.Size, page Page) *Geometry {
+	g := &Geometry{Layout: l, Page: page, Screen: screen, byRune: make(map[rune]int)}
+	kbH := int(float64(screen.H) * l.HeightFrac)
+	g.Bounds = geom.Rect{X0: 0, Y0: screen.H - kbH, X1: screen.W, Y1: screen.H}
+
+	rows := l.Rows(page)
+	rowH := kbH / len(rows)
+	for ri, row := range rows {
+		var totalW float64
+		for _, kd := range row {
+			totalW += kd.W
+		}
+		x := 0.0
+		unit := float64(screen.W) / totalW
+		y0 := g.Bounds.Y0 + ri*rowH
+		for _, kd := range row {
+			w := kd.W * unit
+			cell := geom.Rect{X0: int(x), Y0: y0, X1: int(x + w), Y1: y0 + rowH}
+			inset := int(unit * l.InsetFrac)
+			face := cell.Inset(inset)
+			label := labelBox(face, l.LabelScale)
+			key := Key{Def: kd, Page: page, Rect: cell, Face: face, LabelBox: label}
+			if _, dup := g.byRune[kd.R]; !dup {
+				g.byRune[kd.R] = len(g.Keys)
+			}
+			g.Keys = append(g.Keys, key)
+			x += w
+		}
+	}
+	return g
+}
+
+// labelBox centers a glyph box of the given scale inside a key face.
+func labelBox(face geom.Rect, scale float64) geom.Rect {
+	w := int(float64(face.W()) * scale * 0.7)
+	h := int(float64(face.H()) * scale)
+	cx := (face.X0 + face.X1) / 2
+	cy := (face.Y0 + face.Y1) / 2
+	return geom.Rect{X0: cx - w/2, Y0: cy - h/2, X1: cx + w/2, Y1: cy + h/2}
+}
+
+// KeyFor finds the key producing rune r on this page.
+func (g *Geometry) KeyFor(r rune) (Key, bool) {
+	i, ok := g.byRune[r]
+	if !ok {
+		return Key{}, false
+	}
+	return g.Keys[i], true
+}
+
+// PopupRect computes where the press popup of a key appears: enlarged and
+// lifted above the key, clamped to the screen. Because the popup is drawn
+// on top of the keyboard it occludes the key(s) underneath — the source of
+// key-specific overdraw (Figure 1 of the paper).
+func (g *Geometry) PopupRect(key Key) geom.Rect {
+	style := g.Layout.Popup
+	w := int(float64(key.Face.W()) * style.ScaleW)
+	h := int(float64(key.Face.H()) * style.ScaleH)
+	cx := (key.Face.X0 + key.Face.X1) / 2
+	top := key.Face.Y0 - int(float64(key.Face.H())*style.RiseFrac)
+	r := geom.Rect{X0: cx - w/2, Y0: top, X1: cx + w/2, Y1: top + h}
+	// Clamp inside the screen.
+	if r.X0 < 0 {
+		r = r.Translate(-r.X0, 0)
+	}
+	if r.X1 > g.Screen.W {
+		r = r.Translate(g.Screen.W-r.X1, 0)
+	}
+	if r.Y0 < 0 {
+		r = r.Translate(0, -r.Y0)
+	}
+	return r
+}
+
+// PopupGlyphBox returns the glyph box inside a popup rect.
+func (g *Geometry) PopupGlyphBox(popup geom.Rect) geom.Rect {
+	w := int(float64(popup.W()) * 0.55)
+	h := int(float64(popup.H()) * 0.70)
+	cx := (popup.X0 + popup.X1) / 2
+	cy := (popup.Y0 + popup.Y1) / 2
+	return geom.Rect{X0: cx - w/2, Y0: cy - h/2, X1: cx + w/2, Y1: cy + h/2}
+}
+
+// TypableRunes lists every non-control rune reachable across pages,
+// deduplicated, in page order. This is the alphabet of the offline phase.
+func (l *Layout) TypableRunes() []rune {
+	seen := map[rune]bool{}
+	var out []rune
+	for p := PageLower; p < numPages; p++ {
+		for _, row := range l.pages[p] {
+			for _, kd := range row {
+				switch kd.R {
+				case KeyShift, KeyBackspace, KeyEnter, KeySymbols, KeySpace:
+					continue
+				}
+				if !seen[kd.R] {
+					seen[kd.R] = true
+					out = append(out, kd.R)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks a layout's structural invariants: every page has rows,
+// every row has positive weights, and no control rune appears twice in a
+// row. Useful when defining custom layouts.
+func (l *Layout) Validate() error {
+	if l.Name == "" {
+		return fmt.Errorf("keyboard: layout has no name")
+	}
+	if l.HeightFrac <= 0 || l.HeightFrac > 0.6 {
+		return fmt.Errorf("keyboard %s: implausible height fraction %v", l.Name, l.HeightFrac)
+	}
+	for p := PageLower; p < numPages; p++ {
+		rows := l.Rows(p)
+		if len(rows) == 0 {
+			return fmt.Errorf("keyboard %s: page %v has no rows", l.Name, p)
+		}
+		for ri, row := range rows {
+			if len(row) == 0 {
+				return fmt.Errorf("keyboard %s: page %v row %d empty", l.Name, p, ri)
+			}
+			seen := map[rune]bool{}
+			for _, kd := range row {
+				if kd.W <= 0 {
+					return fmt.Errorf("keyboard %s: key %q has weight %v", l.Name, kd.R, kd.W)
+				}
+				if seen[kd.R] {
+					return fmt.Errorf("keyboard %s: rune %q repeated in page %v row %d", l.Name, kd.R, p, ri)
+				}
+				seen[kd.R] = true
+			}
+		}
+	}
+	if l.Popup.ScaleW <= 1 || l.Popup.ScaleH <= 1 {
+		return fmt.Errorf("keyboard %s: popup must be larger than the key", l.Name)
+	}
+	if l.Popup.DupProb < 0 || l.Popup.DupProb > 1 {
+		return fmt.Errorf("keyboard %s: duplication probability %v", l.Name, l.Popup.DupProb)
+	}
+	return nil
+}

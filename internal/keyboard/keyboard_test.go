@@ -1,0 +1,242 @@
+package keyboard
+
+import (
+	"testing"
+
+	"gpuleak/internal/geom"
+	"gpuleak/internal/glyph"
+)
+
+var screen = geom.Size{W: 1080, H: 2376} // FHD+
+
+func TestAllKeyboardsPresent(t *testing.T) {
+	names := map[string]bool{}
+	for _, l := range All {
+		names[l.Name] = true
+	}
+	for _, want := range []string{"swift", "gboard", "sogou", "pinyin", "go", "grammarly"} {
+		if !names[want] {
+			t.Errorf("keyboard %q missing", want)
+		}
+	}
+	if ByName("gboard") != GBoard {
+		t.Fatal("ByName broken")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName returned non-nil for unknown")
+	}
+}
+
+func TestPaperCharsetTypable(t *testing.T) {
+	// Figure 18's x-axis characters must all be reachable on GBoard.
+	charset := "abcdefghijklmnopqrstuvwxyz1234567890,." +
+		"ABCDEFGHIJKLMNOPQRSTUVWXYZ" + `@#$&-+()/*"':;!?`
+	for _, r := range charset {
+		if _, ok := GBoard.PageFor(r); !ok {
+			t.Errorf("rune %q not typable on gboard", r)
+		}
+	}
+}
+
+func TestAllTypableRunesHaveGlyphs(t *testing.T) {
+	for _, l := range All {
+		for _, r := range l.TypableRunes() {
+			if _, ok := glyph.Lookup(r); !ok {
+				t.Errorf("keyboard %s: rune %q has no glyph", l.Name, r)
+			}
+		}
+	}
+}
+
+func TestGeometryCoversScreenWidth(t *testing.T) {
+	g := GBoard.Geometry(screen, PageLower)
+	if g.Bounds.X0 != 0 || g.Bounds.X1 != screen.W || g.Bounds.Y1 != screen.H {
+		t.Fatalf("keyboard bounds wrong: %v", g.Bounds)
+	}
+	wantH := int(float64(screen.H) * GBoard.HeightFrac)
+	if g.Bounds.H() != wantH {
+		t.Fatalf("keyboard height = %d, want %d", g.Bounds.H(), wantH)
+	}
+}
+
+func TestKeysDoNotOverlap(t *testing.T) {
+	for _, l := range All {
+		g := l.Geometry(screen, PageLower)
+		for i := 0; i < len(g.Keys); i++ {
+			for j := i + 1; j < len(g.Keys); j++ {
+				if g.Keys[i].Face.Overlaps(g.Keys[j].Face) {
+					t.Fatalf("%s: keys %q and %q overlap", l.Name, g.Keys[i].Rune(), g.Keys[j].Rune())
+				}
+			}
+		}
+	}
+}
+
+func TestKeysInsideKeyboard(t *testing.T) {
+	for _, page := range []Page{PageLower, PageUpper, PageNumber, PageSymbol} {
+		g := GBoard.Geometry(screen, page)
+		for _, key := range g.Keys {
+			if !g.Bounds.Contains(key.Rect) {
+				t.Fatalf("page %v key %q escapes keyboard: %v", page, key.Rune(), key.Rect)
+			}
+			if !key.Rect.Contains(key.Face) || !key.Face.Contains(key.LabelBox) {
+				t.Fatalf("key %q nesting broken", key.Rune())
+			}
+		}
+	}
+}
+
+func TestKeyFor(t *testing.T) {
+	g := GBoard.Geometry(screen, PageLower)
+	key, ok := g.KeyFor('w')
+	if !ok || key.Rune() != 'w' {
+		t.Fatal("KeyFor('w') failed")
+	}
+	if _, ok := g.KeyFor('5'); ok {
+		t.Fatal("digit found on lower page")
+	}
+	gn := GBoard.Geometry(screen, PageNumber)
+	if _, ok := gn.KeyFor('5'); !ok {
+		t.Fatal("digit missing on number page")
+	}
+}
+
+func TestPopupAboveKeyAndBigger(t *testing.T) {
+	g := GBoard.Geometry(screen, PageLower)
+	key, _ := g.KeyFor('g')
+	popup := g.PopupRect(key)
+	if popup.Area() <= key.Face.Area() {
+		t.Fatalf("popup (%v) not larger than key (%v)", popup, key.Face)
+	}
+	if popup.Y0 >= key.Face.Y0 {
+		t.Fatal("popup not lifted above the key")
+	}
+	if popup.X0 < 0 || popup.X1 > screen.W || popup.Y0 < 0 {
+		t.Fatalf("popup escapes screen: %v", popup)
+	}
+}
+
+func TestEdgeKeyPopupClamped(t *testing.T) {
+	g := GBoard.Geometry(screen, PageLower)
+	for _, r := range "qp" { // leftmost and rightmost keys
+		key, _ := g.KeyFor(r)
+		popup := g.PopupRect(key)
+		if popup.X0 < 0 || popup.X1 > screen.W {
+			t.Fatalf("popup of edge key %q escapes: %v", r, popup)
+		}
+	}
+}
+
+func TestPopupGlyphBoxInsidePopup(t *testing.T) {
+	g := GBoard.Geometry(screen, PageLower)
+	key, _ := g.KeyFor('m')
+	popup := g.PopupRect(key)
+	gb := g.PopupGlyphBox(popup)
+	if !popup.Contains(gb) {
+		t.Fatalf("glyph box %v escapes popup %v", gb, popup)
+	}
+}
+
+func TestDifferentKeysDifferentPopups(t *testing.T) {
+	g := GBoard.Geometry(screen, PageLower)
+	seen := map[geom.Rect]rune{}
+	for _, r := range "qwertyuiopasdfghjklzxcvbnm" {
+		key, _ := g.KeyFor(r)
+		popup := g.PopupRect(key)
+		if prev, dup := seen[popup]; dup {
+			t.Fatalf("keys %q and %q share popup rect %v", prev, r, popup)
+		}
+		seen[popup] = r
+	}
+}
+
+func TestKeyboardsDiffer(t *testing.T) {
+	// The six keyboards must produce distinct geometry so that per-config
+	// classifiers are genuinely needed (paper §3.2).
+	kinds := map[int]bool{}
+	for _, l := range All {
+		g := l.Geometry(screen, PageLower)
+		kinds[g.Bounds.H()] = true
+	}
+	if len(kinds) < 4 {
+		t.Fatalf("keyboard heights too uniform: %d distinct", len(kinds))
+	}
+}
+
+func TestDupProbOnlyWithRichAnimation(t *testing.T) {
+	for _, l := range All {
+		if l.Popup.AnimFrames < 2 && l.Popup.DupProb > 0.10 {
+			t.Errorf("%s: high dup prob without rich animation", l.Name)
+		}
+	}
+	if GBoard.Popup.DupProb < Swift.Popup.DupProb {
+		t.Fatal("gboard must be more duplication-prone than swift (richer animation)")
+	}
+}
+
+func TestPageString(t *testing.T) {
+	if PageLower.String() != "lower" || PageSymbol.String() != "symbol" {
+		t.Fatal("page names wrong")
+	}
+	if Page(9).String() == "" {
+		t.Fatal("out-of-range page has empty name")
+	}
+}
+
+func TestRowsOutOfRange(t *testing.T) {
+	if GBoard.Rows(Page(99)) != nil {
+		t.Fatal("out-of-range page returned rows")
+	}
+}
+
+func TestGeometryDeterministic(t *testing.T) {
+	a := GBoard.Geometry(screen, PageLower)
+	b := GBoard.Geometry(screen, PageLower)
+	if len(a.Keys) != len(b.Keys) {
+		t.Fatal("geometry nondeterministic")
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			t.Fatalf("key %d differs across builds", i)
+		}
+	}
+}
+
+func TestQHDGeometryScales(t *testing.T) {
+	qhd := geom.Size{W: 1440, H: 3168}
+	a := GBoard.Geometry(screen, PageLower)
+	b := GBoard.Geometry(qhd, PageLower)
+	ka, _ := a.KeyFor('g')
+	kb, _ := b.KeyFor('g')
+	if kb.Face.Area() <= ka.Face.Area() {
+		t.Fatal("QHD keys not larger than FHD keys")
+	}
+}
+
+func TestAllLayoutsValidate(t *testing.T) {
+	for _, l := range All {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadLayouts(t *testing.T) {
+	bad := *GBoard
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Error("nameless layout validated")
+	}
+	bad2 := *GBoard
+	bad2.Name = "bad2"
+	bad2.Popup.ScaleW = 0.8
+	if bad2.Validate() == nil {
+		t.Error("small popup validated")
+	}
+	bad3 := *GBoard
+	bad3.Name = "bad3"
+	bad3.HeightFrac = 0.9
+	if bad3.Validate() == nil {
+		t.Error("implausible height validated")
+	}
+}

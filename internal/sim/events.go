@@ -1,0 +1,73 @@
+package sim
+
+import "container/heap"
+
+// Event is a timestamped occurrence in the simulation. Payload semantics
+// are owned by the producing subsystem.
+type Event struct {
+	At      Time
+	Kind    string
+	Payload any
+}
+
+// Queue is a min-heap of events ordered by time; ties are broken by
+// insertion order so the simulation stays deterministic.
+type Queue struct {
+	h   eventHeap
+	seq int
+}
+
+type queued struct {
+	Event
+	seq int
+}
+
+type eventHeap []queued
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(queued)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Len reports the number of queued events.
+func (q *Queue) Len() int { return q.h.Len() }
+
+// Push enqueues an event.
+func (q *Queue) Push(e Event) {
+	q.seq++
+	heap.Push(&q.h, queued{Event: e, seq: q.seq})
+}
+
+// Pop removes and returns the earliest event. It panics on an empty queue.
+func (q *Queue) Pop() Event {
+	return heap.Pop(&q.h).(queued).Event
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue) Peek() (Event, bool) {
+	if q.h.Len() == 0 {
+		return Event{}, false
+	}
+	return q.h[0].Event, true
+}
+
+// Drain pops every event in time order.
+func (q *Queue) Drain() []Event {
+	out := make([]Event, 0, q.Len())
+	for q.Len() > 0 {
+		out = append(out, q.Pop())
+	}
+	return out
+}

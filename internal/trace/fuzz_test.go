@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace parser: arbitrary input never panics, and
+// any trace that parses must survive a write/read round trip unchanged.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	tr := mkTrace()
+	_ = tr.WriteCSV(&buf)
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("time_us,a\n1,2\n")
+	f.Add("time_us" + strings.Repeat(",c", 11) + "\n5" + strings.Repeat(",1", 11) + "\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		parsed, err := ReadCSV(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := parsed.WriteCSV(&out); err != nil {
+			t.Fatalf("reserializing parsed trace: %v", err)
+		}
+		back, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != parsed.Len() {
+			t.Fatalf("round trip lost samples: %d vs %d", back.Len(), parsed.Len())
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package trace holds performance counter traces: timestamped samples of
+// the 11 selected counters, delta extraction (the "PC value changes" the
+// paper classifies), feature vectors, and CSV persistence for offline
+// analysis.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"gpuleak/internal/adreno"
+	"gpuleak/internal/sim"
+)
+
+// Vec is one observation in the attack's feature space: the per-counter
+// change between two reads, in adreno.Selected (Table-1) order.
+type Vec [adreno.NumSelected]float64
+
+// Add returns v + o.
+func (v Vec) Add(o Vec) Vec {
+	for i := range v {
+		v[i] += o[i]
+	}
+	return v
+}
+
+// Sub returns v - o.
+func (v Vec) Sub(o Vec) Vec {
+	for i := range v {
+		v[i] -= o[i]
+	}
+	return v
+}
+
+// Scale returns v * f.
+func (v Vec) Scale(f float64) Vec {
+	for i := range v {
+		v[i] *= f
+	}
+	return v
+}
+
+// Dist returns the weighted Euclidean distance to o. A nil-like zero
+// weight is treated as 1.
+func (v Vec) Dist(o Vec, w Vec) float64 {
+	var ss float64
+	for i := range v {
+		wi := w[i]
+		if wi == 0 {
+			wi = 1
+		}
+		d := (v[i] - o[i]) * wi
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}
+
+// Norm returns the weighted Euclidean norm.
+func (v Vec) Norm(w Vec) float64 { return v.Dist(Vec{}, w) }
+
+// IsZero reports whether every component is zero.
+func (v Vec) IsZero() bool { return v == Vec{} }
+
+// Ones returns an all-ones weight vector.
+func Ones() Vec {
+	var v Vec
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Sample is one read of all selected counters.
+type Sample struct {
+	At     sim.Time
+	Values [adreno.NumSelected]uint64
+}
+
+// Trace is a time-ordered series of counter samples.
+type Trace struct {
+	Interval sim.Time
+	Samples  []Sample
+}
+
+// Append adds a sample (must be chronologically ordered).
+func (t *Trace) Append(s Sample) { t.Samples = append(t.Samples, s) }
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.Samples) }
+
+// Delta is one non-zero counter change between consecutive samples,
+// stamped with the time of the later sample.
+type Delta struct {
+	At sim.Time
+	V  Vec
+}
+
+// Deltas extracts the non-zero changes between consecutive samples — the
+// "PC value changes" of §3.4. Samples with no change produce nothing,
+// matching the flat segments of Figure 5.
+func (t *Trace) Deltas() []Delta {
+	var out []Delta
+	for i := 1; i < len(t.Samples); i++ {
+		var v Vec
+		changed := false
+		for j := range v {
+			d := float64(t.Samples[i].Values[j]) - float64(t.Samples[i-1].Values[j])
+			v[j] = d
+			if d != 0 {
+				changed = true
+			}
+		}
+		if changed {
+			out = append(out, Delta{At: t.Samples[i].At, V: v})
+		}
+	}
+	return out
+}
+
+// CounterSeries extracts the raw time series of one counter by its index
+// in adreno.Selected.
+func (t *Trace) CounterSeries(idx int) ([]sim.Time, []uint64) {
+	ts := make([]sim.Time, len(t.Samples))
+	vs := make([]uint64, len(t.Samples))
+	for i, s := range t.Samples {
+		ts[i] = s.At
+		vs[i] = s.Values[idx]
+	}
+	return ts, vs
+}
+
+// WriteCSV persists the trace with a header of counter string identifiers.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, adreno.NumSelected+1)
+	header = append(header, "time_us")
+	for _, k := range adreno.Selected {
+		s, _ := adreno.CounterString(k)
+		header = append(header, s)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, adreno.NumSelected+1)
+	for _, s := range t.Samples {
+		row[0] = strconv.FormatInt(int64(s.At), 10)
+		for i, v := range s.Values {
+			row[i+1] = strconv.FormatUint(v, 10)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	if len(rows[0]) != adreno.NumSelected+1 {
+		return nil, fmt.Errorf("trace: want %d columns, got %d", adreno.NumSelected+1, len(rows[0]))
+	}
+	t := &Trace{}
+	for _, row := range rows[1:] {
+		var s Sample
+		at, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad timestamp %q: %w", row[0], err)
+		}
+		s.At = sim.Time(at)
+		for i := 0; i < adreno.NumSelected; i++ {
+			v, err := strconv.ParseUint(row[i+1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad value %q: %w", row[i+1], err)
+			}
+			s.Values[i] = v
+		}
+		t.Append(s)
+	}
+	return t, nil
+}

@@ -1,0 +1,50 @@
+package victim
+
+import (
+	"gpuleak/internal/android"
+	"gpuleak/internal/sim"
+)
+
+// PowerModel estimates the attack's energy footprint on the victim
+// device (§7.6 / Figure 26). The dominant term is not the ioctl itself
+// but keeping a little core awake: the monitoring service holds a partial
+// wakelock so its polling loop keeps running with the screen state
+// unchanged. Inference adds an amortized trickle, and every counter read
+// costs one kernel round trip.
+type PowerModel struct {
+	// WakelockMilliwatts is the continuous cost of the held wakelock plus
+	// an idle little core.
+	WakelockMilliwatts float64
+	// ReadMicrojoules is one PERFCOUNTER_READ ioctl round trip.
+	ReadMicrojoules float64
+	// InferenceMilliwatts is the amortized classification cost at the
+	// default polling rate.
+	InferenceMilliwatts float64
+}
+
+// DefaultPowerModel matches the Figure-26 measurement conditions.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		WakelockMilliwatts:  95,
+		ReadMicrojoules:     28,
+		InferenceMilliwatts: 4,
+	}
+}
+
+// DrainMilliwatts returns the attack's continuous power draw at the given
+// polling interval.
+func (p PowerModel) DrainMilliwatts(interval sim.Time) float64 {
+	if interval <= 0 {
+		return p.WakelockMilliwatts + p.InferenceMilliwatts
+	}
+	readsPerSec := float64(sim.Second) / float64(interval)
+	return p.WakelockMilliwatts + p.InferenceMilliwatts + readsPerSec*p.ReadMicrojoules/1000
+}
+
+// ExtraBatteryPercent returns the share of the device's battery the
+// attack consumes when monitoring for the given duration.
+func (p PowerModel) ExtraBatteryPercent(dev android.DeviceModel, interval, duration sim.Time) float64 {
+	mw := p.DrainMilliwatts(interval)
+	mwh := mw * duration.Seconds() / 3600
+	return 100 * mwh / float64(dev.BatteryMilliWattHours)
+}

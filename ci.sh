@@ -1,0 +1,36 @@
+#!/bin/sh
+# ci.sh — the tier-1 gate. Every check a PR must clear, in the order
+# cheapest-first so formatting noise fails before the race detector runs.
+#
+#   1. gofmt      — no unformatted files anywhere in the tree
+#   2. go vet     — the stock toolchain analyzers
+#   3. go build   — everything compiles
+#   4. gpuvet     — the repo's own invariants (see README "Static
+#                   analysis & CI"); production packages only
+#   5. go test    — full test suite under the race detector
+#
+# Run from the repo root: ./ci.sh
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> gpuvet ./..."
+go run ./cmd/gpuvet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "CI: all gates passed"

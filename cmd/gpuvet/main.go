@@ -1,0 +1,67 @@
+// Command gpuvet runs the repository's static-analysis suite: stdlib-only
+// checks enforcing the simulation and KGSL invariants the reproduction's
+// fidelity depends on (deterministic sim.Time clocks, msm_kgsl.h counter
+// constants, float-comparison hygiene, mutex discipline, and ioctl size
+// consistency).
+//
+// Usage:
+//
+//	gpuvet [-tests] [-list] [packages]
+//
+// Packages default to ./... (the whole module). Findings print as
+// file:line:col: [check] message and make the command exit nonzero.
+// Suppress an intentional finding with a comment on or above the line:
+//
+//	//gpuvet:ignore simtime -- measuring attacker-side wall-clock cost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuleak/internal/analysis"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gpuvet [-tests] [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the repo's invariant checks; packages default to ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuvet:", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = *tests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuvet:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gpuvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one testdata directory under an explicit import
+// path (so path-scoped analyzers apply). A fresh loader per fixture keeps
+// the loader's per-path memoization from colliding with the real module
+// packages of the same import path.
+func loadFixture(t *testing.T, rel, pkgPath string) *Package {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", rel), pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	return pkg
+}
+
+// fixtureWants collects "file.go:line" keys for every line carrying a
+// trailing "// WANT" marker in the fixture directory.
+func fixtureWants(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	wants := map[string]bool{}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, "// WANT") {
+				wants[fmt.Sprintf("%s:%d", e.Name(), i+1)] = true
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture asserts the analyzer reports on exactly the WANT-marked
+// lines of the fixture: seeded violations are caught, fixed snippets and
+// suppressed lines stay silent.
+func checkFixture(t *testing.T, a *Analyzer, rel, pkgPath string) {
+	t.Helper()
+	if a.Applies != nil && !a.Applies(pkgPath) {
+		t.Fatalf("%s does not apply to fixture path %s", a.Name, pkgPath)
+	}
+	pkg := loadFixture(t, rel, pkgPath)
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	got := map[string]bool{}
+	for _, d := range diags {
+		if d.Check != a.Name {
+			t.Errorf("diagnostic from unexpected check %q: %s", d.Check, d)
+		}
+		got[fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)] = true
+	}
+	want := fixtureWants(t, filepath.Join("testdata", rel))
+	for k := range want {
+		if !got[k] {
+			t.Errorf("%s/%s: expected a %s finding, got none", rel, k, a.Name)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("%s/%s: unexpected %s finding", rel, k, a.Name)
+		}
+	}
+}
+
+func TestSimTimeFixtures(t *testing.T) {
+	checkFixture(t, SimTime, "simtime/bad", "gpuleak/internal/stbad")
+	checkFixture(t, SimTime, "simtime/good", "gpuleak/internal/stgood")
+}
+
+func TestSimTimeScope(t *testing.T) {
+	if SimTime.Applies("gpuleak/cmd/benchpaper") {
+		t.Error("simtime must not apply outside internal/ (benchmarks measure real time)")
+	}
+	if !SimTime.Applies("gpuleak/internal/exp") {
+		t.Error("simtime must apply to internal/ packages")
+	}
+}
+
+func TestCounterGroupFixtures(t *testing.T) {
+	checkFixture(t, CounterGroup, "countergroup/bad", "gpuleak/internal/cgbad")
+	checkFixture(t, CounterGroup, "countergroup/good", "gpuleak/internal/cggood")
+}
+
+func TestFloatEqFixtures(t *testing.T) {
+	// The fixture paths reuse the real distance-math package paths so the
+	// scope filter admits them.
+	checkFixture(t, FloatEq, "floateq/bad", "gpuleak/internal/attack")
+	checkFixture(t, FloatEq, "floateq/good", "gpuleak/internal/stats")
+}
+
+func TestFloatEqScope(t *testing.T) {
+	if FloatEq.Applies("gpuleak/internal/trace") {
+		t.Error("floateq is scoped to the distance-math packages only")
+	}
+}
+
+func TestLockCheckFixtures(t *testing.T) {
+	checkFixture(t, LockCheck, "lockcheck/bad", "gpuleak/internal/lckbad")
+	checkFixture(t, LockCheck, "lockcheck/good", "gpuleak/internal/lckgood")
+}
+
+func TestIoctlSizeFixtures(t *testing.T) {
+	checkFixture(t, IoctlSize, "ioctlsize/bad", "gpuleak/internal/szbad")
+	checkFixture(t, IoctlSize, "ioctlsize/good", "gpuleak/internal/szgood")
+}

@@ -1,0 +1,27 @@
+// Package cgbad seeds countergroup violations: raw msm_kgsl.h IDs where
+// the adreno constants are mandatory.
+package cgbad
+
+import (
+	"gpuleak/internal/adreno"
+	"gpuleak/internal/kgsl"
+)
+
+// Keys builds counter keys from magic numbers.
+func Keys() []adreno.CounterKey {
+	return []adreno.CounterKey{
+		{0x19, 13}, // WANT
+		{Group: 0x7, Countable: adreno.RASSuperTiles}, // WANT
+		{Group: adreno.GroupVPC, Countable: 9},        // WANT
+	}
+}
+
+// Get reserves a counter with a magic group ID.
+func Get() kgsl.PerfcounterGet {
+	return kgsl.PerfcounterGet{GroupID: 0x5, Countable: adreno.VPCSPComponents} // WANT
+}
+
+// Name looks up a group by magic ID.
+func Name() string {
+	return adreno.GroupName(0x19) // WANT
+}

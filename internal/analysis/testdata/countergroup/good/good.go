@@ -1,0 +1,31 @@
+// Package cggood uses the adreno constants correctly: named group IDs
+// everywhere, raw countables only where no named constant exists.
+package cggood
+
+import (
+	"gpuleak/internal/adreno"
+	"gpuleak/internal/kgsl"
+)
+
+// Keys builds counter keys the sanctioned way.
+func Keys() []adreno.CounterKey {
+	return []adreno.CounterKey{
+		{Group: adreno.GroupLRZ, Countable: adreno.LRZFullTiles8x8},
+		{Group: adreno.GroupLRZ, Countable: 17}, // no named constant for 17: legal
+	}
+}
+
+// Get reserves a counter with named constants.
+func Get() kgsl.PerfcounterGet {
+	return kgsl.PerfcounterGet{GroupID: adreno.GroupVPC, Countable: adreno.VPCSPComponents}
+}
+
+// Probe deliberately asks for an unknown group and says so.
+func Probe() string {
+	return adreno.GroupName(0x42) //gpuvet:ignore countergroup -- fixture: probing an unknown group on purpose
+}
+
+// Dynamic group IDs are not constants and are never flagged.
+func Dynamic(g uint32) []uint32 {
+	return adreno.CountersInGroup(g)
+}

@@ -1,0 +1,28 @@
+// Package feqbad seeds floateq violations inside a distance-math package
+// path (the fixture loads under gpuleak/internal/attack).
+package feqbad
+
+// Equal compares accumulated floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // WANT
+}
+
+type vec [3]float64
+
+// SameVec compares float arrays exactly.
+func SameVec(a, b vec) bool {
+	return a != b // WANT
+}
+
+type centroid struct {
+	v vec
+	w float64
+}
+
+// SameCentroid compares a float-bearing struct exactly.
+func SameCentroid(a, b centroid) bool {
+	return a == b // WANT
+}
+
+// Ints may be compared exactly.
+func Ints(a, b int) bool { return a == b }

@@ -1,0 +1,16 @@
+// Package feqgood holds only legal comparisons (loaded under
+// gpuleak/internal/stats).
+package feqgood
+
+import "math"
+
+// Close compares with an explicit tolerance.
+func Close(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// Unset tests a non-negative sentinel with an ordering, not equality.
+func Unset(w float64) bool { return w <= 0 }
+
+// Runes compares integers exactly, which is fine.
+func Runes(a, b rune) bool { return a == b }

@@ -1,0 +1,30 @@
+// Package szbad seeds ioctlsize violations: request codes whose size bits
+// disagree with the struct they marshal.
+package szbad
+
+func iowr(nr, size uint32) uint32 {
+	return 3<<30 | size<<16 | 0x09<<8 | nr
+}
+
+// Frob marshals to 16 bytes (4 + pad 4 + 8) but the code claims 12.
+type Frob struct {
+	A uint32
+	B uint64
+}
+
+// Batch marshals to 16 bytes (ptr 8 + count 4 + 4) but the code claims 24.
+type Batch struct {
+	Items []uint64
+	Flags uint32
+}
+
+// Weird cannot be sized at all: maps have no kernel ABI layout.
+type Weird struct {
+	M map[string]int
+}
+
+var (
+	IoctlFrob  = iowr(0x10, 12) // WANT
+	IoctlBatch = iowr(0x11, 24) // WANT
+	IoctlWeird = iowr(0x12, 8)  // WANT
+)

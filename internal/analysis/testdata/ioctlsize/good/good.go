@@ -1,0 +1,34 @@
+// Package szgood declares request codes whose sizes match their structs
+// under the 64-bit kernel ABI.
+package szgood
+
+func iowr(nr, size uint32) uint32 {
+	return 3<<30 | size<<16 | 0x09<<8 | nr
+}
+
+// Frob is 4 + pad 4 + 8 = 16 bytes.
+type Frob struct {
+	A uint32
+	B uint64
+}
+
+// Batch is ptr 8 + count 4 + 4 = 16 bytes.
+type Batch struct {
+	Items []uint64
+	Flags uint32
+}
+
+// Padded mirrors the msm_kgsl.h __pad[2] tail convention: 4 + 4 + 8 = 16.
+type Padded struct {
+	GroupID   uint32
+	Countable uint32
+	Pad       [2]uint32
+}
+
+var (
+	IoctlFrob   = iowr(0x10, 16)
+	IoctlBatch  = iowr(0x11, 16)
+	IoctlPadded = iowr(0x12, 16)
+	// IoctlOpaque has no matching struct type, so it is unverifiable.
+	IoctlOpaque = iowr(0x13, 40)
+)

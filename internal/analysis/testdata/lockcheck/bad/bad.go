@@ -1,0 +1,24 @@
+// Package lckbad seeds a lockcheck violation: a method mutating a
+// mu-guarded field without taking the lock.
+package lckbad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+	by map[string]int
+}
+
+// Bump races: it writes n without locking mu.
+func (c *counter) Bump(who string) {
+	c.n++ // WANT
+	c.by[who]++
+}
+
+// Get is correct and must not be flagged.
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

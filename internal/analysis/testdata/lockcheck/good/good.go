@@ -1,0 +1,38 @@
+// Package lckgood holds only lock-disciplined access patterns.
+package lckgood
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+
+	hits int // separated by a blank line: not guarded by mu
+}
+
+// Bump locks before touching n.
+func (c *counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Hits reads an unguarded field without the lock.
+func (c *counter) Hits() int { return c.hits }
+
+// nLocked is a helper invoked with mu already held.
+func (c *counter) nLocked() int {
+	return c.n //gpuvet:ignore lockcheck -- held by caller
+}
+
+type embedded struct {
+	sync.Mutex
+	n int
+}
+
+// Bump uses the promoted Lock method, which counts as touching the mutex.
+func (e *embedded) Bump() {
+	e.Lock()
+	defer e.Unlock()
+	e.n++
+}

@@ -1,0 +1,12 @@
+// Package stbad seeds simtime violations: wall-clock reads inside a
+// (simulated) internal package. Lines marked WANT must be reported.
+package stbad
+
+import "time"
+
+// Stamp reads the wall clock twice and sleeps once.
+func Stamp() float64 {
+	t0 := time.Now()                // WANT
+	time.Sleep(time.Millisecond)    // WANT
+	return time.Since(t0).Seconds() // WANT
+}

@@ -1,0 +1,17 @@
+// Package stgood holds only legal time usage: pure duration conversions
+// and one justified, suppressed wall-clock read.
+package stgood
+
+import "time"
+
+// Micros converts a duration without reading any clock.
+func Micros(d time.Duration) int64 { return d.Microseconds() }
+
+// Bench measures the host's own computation cost, which is genuinely
+// wall-clock and carries a suppression.
+func Bench(f func()) time.Duration {
+	t0 := time.Now() //gpuvet:ignore simtime -- fixture: measuring host compute cost
+	f()
+	//gpuvet:ignore simtime -- fixture: standalone form applies to the next line
+	return time.Since(t0)
+}

@@ -74,7 +74,7 @@ func (a *Attack) Recognize(ds []trace.Delta, interval sim.Time) (*Model, error) 
 		// Normalize by the model's own launch magnitude so big-screen
 		// devices do not dominate.
 		norm := m.Launch.Norm(m.Weights)
-		if norm == 0 {
+		if norm <= 0 {
 			norm = 1
 		}
 		d := launch.Dist(m.Launch, m.Weights) / norm

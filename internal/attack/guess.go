@@ -135,8 +135,11 @@ func RankWithPrior(candidates []string, prior map[string]float64) []string {
 		if (out[i].p > 0) != (out[j].p > 0) {
 			return out[i].p > 0
 		}
-		if out[i].p != out[j].p {
-			return out[i].p > out[j].p
+		if out[i].p > out[j].p {
+			return true
+		}
+		if out[j].p > out[i].p {
+			return false
 		}
 		return out[i].idx < out[j].idx
 	})

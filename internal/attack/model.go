@@ -182,7 +182,7 @@ func (m *Model) ClassifyDenoised(v trace.Vec) Verdict {
 func (m *Model) buildNoiseIndex() {
 	m.indexOnce.Do(func() {
 		w0 := m.Weights[0]
-		if w0 == 0 {
+		if w0 <= 0 {
 			w0 = 1
 		}
 		idx := make([]noiseEntry, 0, len(m.Noise))
@@ -200,7 +200,7 @@ func (m *Model) buildNoiseIndex() {
 // distance lower-bounds the Euclidean distance).
 func (m *Model) nearestNoiseTo(r trace.Vec) float64 {
 	w0 := m.Weights[0]
-	if w0 == 0 {
+	if w0 <= 0 {
 		w0 = 1
 	}
 	target := r[0] * w0

@@ -34,7 +34,7 @@ func (o MonitorOptions) withDefaults(interval sim.Time) MonitorOptions {
 	if o.IdleInterval == 0 {
 		o.IdleInterval = 4 * interval
 	}
-	if o.Tolerance == 0 {
+	if o.Tolerance <= 0 {
 		o.Tolerance = 0.01
 	}
 	return o
@@ -93,7 +93,7 @@ func (a *Attack) MonitorAndEavesdrop(f *kgsl.File, start, end sim.Time, opts Mon
 		changed := false
 		for i := range d {
 			d[i] = float64(cur[i]) - float64(prev[i])
-			if d[i] != 0 {
+			if cur[i] != prev[i] {
 				changed = true
 			}
 		}
@@ -155,7 +155,7 @@ func (a *Attack) MonitorAndEavesdrop(f *kgsl.File, start, end sim.Time, opts Mon
 // fingerprint: relative weighted distance.
 func launchMatch(m *Model, v trace.Vec) float64 {
 	norm := m.Launch.Norm(m.Weights)
-	if norm == 0 {
+	if norm <= 0 {
 		return math.Inf(1)
 	}
 	return v.Dist(m.Launch, m.Weights) / norm

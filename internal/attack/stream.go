@@ -43,7 +43,7 @@ func (s *Stream) Push(t sim.Time, values [adreno.NumSelected]uint64) {
 	changed := false
 	for i := range d {
 		d[i] = float64(values[i]) - float64(s.last[i])
-		if d[i] != 0 {
+		if values[i] != s.last[i] {
 			changed = true
 		}
 	}

@@ -61,10 +61,14 @@ type PerfcounterGet struct {
 	OffsetHi  uint32
 }
 
-// PerfcounterPut mirrors struct kgsl_perfcounter_put.
+// PerfcounterPut mirrors struct kgsl_perfcounter_put, including the
+// __pad[2] tail the kernel reserves for binary compatibility — without it
+// the struct is 8 bytes and the _IOW size bits (16) would encode a
+// request code the real driver rejects with ENOTTY.
 type PerfcounterPut struct {
 	GroupID   uint32
 	Countable uint32
+	Pad       [2]uint32
 }
 
 // PerfcounterReadGroup mirrors struct kgsl_perfcounter_read_group: one

@@ -61,7 +61,7 @@ func TestOpenDeniedBySELinux(t *testing.T) {
 func TestReadRequiresReservation(t *testing.T) {
 	d := newTestDevice()
 	f := openTestFile(t, d)
-	rd := PerfcounterRead{Reads: []PerfcounterReadGroup{{GroupID: adreno.GroupLRZ, Countable: 13}}}
+	rd := PerfcounterRead{Reads: []PerfcounterReadGroup{{GroupID: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}}}
 	if err := f.Ioctl(5000, IoctlPerfcounterRead, &rd); !errors.Is(err, ErrNotReserved) {
 		t.Fatalf("want ErrNotReserved, got %v", err)
 	}
@@ -71,7 +71,7 @@ func TestGetReadPutCycle(t *testing.T) {
 	d := newTestDevice()
 	f := openTestFile(t, d)
 
-	get := PerfcounterGet{GroupID: adreno.GroupLRZ, Countable: 13}
+	get := PerfcounterGet{GroupID: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}
 	if err := f.Ioctl(0, IoctlPerfcounterGet, &get); err != nil {
 		t.Fatalf("GET: %v", err)
 	}
@@ -79,7 +79,7 @@ func TestGetReadPutCycle(t *testing.T) {
 		t.Fatal("GET did not return a register offset")
 	}
 
-	rd := PerfcounterRead{Reads: []PerfcounterReadGroup{{GroupID: adreno.GroupLRZ, Countable: 13}}}
+	rd := PerfcounterRead{Reads: []PerfcounterReadGroup{{GroupID: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}}}
 	if err := f.Ioctl(5000, IoctlPerfcounterRead, &rd); err != nil {
 		t.Fatalf("READ: %v", err)
 	}
@@ -87,7 +87,7 @@ func TestGetReadPutCycle(t *testing.T) {
 		t.Fatal("READ returned zero value")
 	}
 
-	put := PerfcounterPut{GroupID: adreno.GroupLRZ, Countable: 13}
+	put := PerfcounterPut{GroupID: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}
 	if err := f.Ioctl(0, IoctlPerfcounterPut, &put); err != nil {
 		t.Fatalf("PUT: %v", err)
 	}
@@ -109,7 +109,7 @@ func TestGetUnknownCounter(t *testing.T) {
 func TestPutWithoutGet(t *testing.T) {
 	d := newTestDevice()
 	f := openTestFile(t, d)
-	put := PerfcounterPut{GroupID: adreno.GroupLRZ, Countable: 13}
+	put := PerfcounterPut{GroupID: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}
 	if err := f.Ioctl(0, IoctlPerfcounterPut, &put); !errors.Is(err, ErrNotReserved) {
 		t.Fatalf("want ErrNotReserved, got %v", err)
 	}
@@ -242,7 +242,7 @@ func TestClosedFile(t *testing.T) {
 	d := newTestDevice()
 	f := openTestFile(t, d)
 	f.Close()
-	get := PerfcounterGet{GroupID: adreno.GroupLRZ, Countable: 13}
+	get := PerfcounterGet{GroupID: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}
 	if err := f.Ioctl(0, IoctlPerfcounterGet, &get); !errors.Is(err, ErrClosed) {
 		t.Fatalf("want ErrClosed, got %v", err)
 	}
@@ -287,19 +287,19 @@ func TestBusyPercentage(t *testing.T) {
 func TestReservationRefcount(t *testing.T) {
 	d := newTestDevice()
 	f := openTestFile(t, d)
-	get := PerfcounterGet{GroupID: adreno.GroupLRZ, Countable: 13}
+	get := PerfcounterGet{GroupID: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}
 	if err := f.Ioctl(0, IoctlPerfcounterGet, &get); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Ioctl(0, IoctlPerfcounterGet, &get); err != nil {
 		t.Fatal(err)
 	}
-	put := PerfcounterPut{GroupID: adreno.GroupLRZ, Countable: 13}
+	put := PerfcounterPut{GroupID: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}
 	if err := f.Ioctl(0, IoctlPerfcounterPut, &put); err != nil {
 		t.Fatal(err)
 	}
 	// One reference remains: reads still succeed.
-	rd := PerfcounterRead{Reads: []PerfcounterReadGroup{{GroupID: adreno.GroupLRZ, Countable: 13}}}
+	rd := PerfcounterRead{Reads: []PerfcounterReadGroup{{GroupID: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}}}
 	if err := f.Ioctl(5000, IoctlPerfcounterRead, &rd); err != nil {
 		t.Fatalf("read after single PUT of double GET: %v", err)
 	}

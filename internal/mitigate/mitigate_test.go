@@ -12,7 +12,7 @@ import (
 func TestRBACDeniesUntrustedApp(t *testing.T) {
 	p := NewRBACPolicy()
 	ctx := kgsl.UntrustedApp(77)
-	k := adreno.CounterKey{Group: adreno.GroupLRZ, Countable: 13}
+	k := adreno.CounterKey{Group: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}
 	if err := p.AllowPerfcounterRead(ctx, k); !errors.Is(err, kgsl.ErrPerm) {
 		t.Fatalf("untrusted app allowed: %v", err)
 	}
@@ -21,7 +21,7 @@ func TestRBACDeniesUntrustedApp(t *testing.T) {
 func TestRBACAllowsProfiler(t *testing.T) {
 	p := NewRBACPolicy()
 	ctx := kgsl.ProcContext{PID: 1, UID: 2000, SELinuxContext: "u:r:shell:s0"}
-	k := adreno.CounterKey{Group: adreno.GroupLRZ, Countable: 13}
+	k := adreno.CounterKey{Group: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}
 	if err := p.AllowPerfcounterRead(ctx, k); err != nil {
 		t.Fatalf("shell denied: %v", err)
 	}
@@ -30,7 +30,7 @@ func TestRBACAllowsProfiler(t *testing.T) {
 func TestRBACGroupScoping(t *testing.T) {
 	p := NewRBACPolicy().RestrictOverdrawGroupsOnly()
 	ctx := kgsl.UntrustedApp(77)
-	lrz := adreno.CounterKey{Group: adreno.GroupLRZ, Countable: 13}
+	lrz := adreno.CounterKey{Group: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}
 	sp := adreno.CounterKey{Group: adreno.GroupSP, Countable: 0}
 	if err := p.AllowPerfcounterRead(ctx, lrz); err == nil {
 		t.Fatal("overdraw group readable under scoped policy")

@@ -73,7 +73,7 @@ func TestGooglePatchPolicyShape(t *testing.T) {
 
 func TestIoctlPolicyAsKGSLPolicy(t *testing.T) {
 	p := NewGooglePatchPolicy()
-	k := adreno.CounterKey{Group: adreno.GroupLRZ, Countable: 13}
+	k := adreno.CounterKey{Group: adreno.GroupLRZ, Countable: adreno.LRZVisiblePrimAfterLRZ}
 	if err := p.AllowPerfcounterRead(kgsl.UntrustedApp(9), k); !errors.Is(err, kgsl.ErrPerm) {
 		t.Fatalf("untrusted app read allowed: %v", err)
 	}

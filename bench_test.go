@@ -229,6 +229,41 @@ func BenchmarkOfflineCollect(b *testing.B) {
 	}
 }
 
+// BenchmarkOfflineCollectWorkers measures the offline phase at fixed
+// worker-pool sizes; the BENCH_*.json trajectory compares the variants to
+// spot scaling regressions. The trained model is bit-identical across
+// variants, so only the wall clock moves.
+func BenchmarkOfflineCollectWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := VictimConfig{Device: OnePlus8Pro, Seed: int64(i + 1)}
+				if _, err := TrainWith(cfg, CollectOptions{Repeats: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig17Workers measures a batch-heavy experiment at fixed
+// worker-pool sizes (trial fan-out dominates once the model is cached).
+func BenchmarkFig17Workers(b *testing.B) {
+	e, ok := exp.ByID("fig17")
+	if !ok {
+		b.Fatal("fig17 not registered")
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(exp.Options{Quick: true, Seed: 20260705, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEndToEnd measures one complete eavesdropping run: victim
 // session + sampling + recognition + inference.
 func BenchmarkEndToEnd(b *testing.B) {

@@ -1,24 +1,55 @@
 // Command benchpaper regenerates every table and figure of the paper's
 // evaluation on the simulated stack and prints the results as tables —
-// the data behind EXPERIMENTS.md.
+// the data behind EXPERIMENTS.md. With -json it instead emits a
+// machine-readable report (wall time, per-experiment seconds, headline
+// metrics) suitable for BENCH_*.json perf-trajectory tracking in CI.
 //
 // Usage:
 //
-//	benchpaper                # every experiment, quick scale
-//	benchpaper -full          # paper-scale trial counts (slow)
-//	benchpaper -run fig17     # a single experiment
+//	benchpaper                     # every experiment, quick scale
+//	benchpaper -full               # paper-scale trial counts (slow)
+//	benchpaper -run fig17          # a single experiment
+//	benchpaper -workers 8          # fan experiments and trials across 8 workers
+//	benchpaper -json > bench.json  # machine-readable report
+//	benchpaper -json -baseline prev.json   # also compute speedup vs prev
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	"gpuleak/internal/exp"
+	"gpuleak/internal/parallel"
 )
+
+// report is the -json output. The schema field lets trajectory tooling
+// reject incompatible files instead of misreading them.
+type report struct {
+	Schema      string             `json:"schema"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Workers     int                `json:"workers"`
+	Quick       bool               `json:"quick"`
+	Seed        int64              `json:"seed"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Speedup     float64            `json:"speedup_vs_baseline,omitempty"`
+	Failures    int                `json:"failures"`
+	Experiments []experimentReport `json:"experiments"`
+}
+
+type experimentReport struct {
+	ID      string             `json:"id"`
+	Paper   string             `json:"paper"`
+	Seconds float64            `json:"seconds"`
+	Error   string             `json:"error,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -30,6 +61,9 @@ func main() {
 	listOnly := flag.Bool("list", false, "list experiment IDs and exit")
 	metrics := flag.Bool("metrics", false, "also print raw metrics")
 	markdown := flag.Bool("md", false, "emit GitHub-flavored markdown tables")
+	workers := flag.Int("workers", 0, "worker pool size (1 = serial, 0 = one per CPU); results are identical at any value")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout instead of tables")
+	baseline := flag.String("baseline", "", "previous -json report to compute speedup_vs_baseline against")
 	flag.Parse()
 
 	if *listOnly {
@@ -39,7 +73,7 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Quick: !*full, Seed: *seed}
+	opts := exp.Options{Quick: !*full, Seed: *seed, Workers: *workers}
 	todo := exp.All
 	if *run != "" {
 		e, ok := exp.ByID(*run)
@@ -49,13 +83,70 @@ func main() {
 		todo = []exp.Experiment{e}
 	}
 
-	failures := 0
-	for _, e := range todo {
+	// Experiments are independent, so the suite itself fans out across the
+	// pool on top of each experiment's internal parallelism; results are
+	// collected into index-addressed slots and printed in registry order,
+	// so the output is identical at any worker count.
+	wallStart := time.Now()
+	results := make([]*exp.Result, len(todo))
+	reports := make([]experimentReport, len(todo))
+	parallel.ForEach(*workers, len(todo), func(i int) error {
 		start := time.Now()
-		r, err := e.Run(opts)
+		r, err := todo[i].Run(opts)
+		reports[i] = experimentReport{ID: todo[i].ID, Paper: todo[i].Paper, Seconds: time.Since(start).Seconds()}
 		if err != nil {
-			log.Printf("%s FAILED: %v", e.ID, err)
+			reports[i].Error = err.Error()
+			return nil
+		}
+		results[i] = r
+		reports[i].Metrics = r.Metrics
+		return nil
+	})
+	wall := time.Since(wallStart).Seconds()
+
+	failures := 0
+	for i := range reports {
+		if reports[i].Error != "" {
 			failures++
+			if !*jsonOut {
+				log.Printf("%s FAILED: %v", reports[i].ID, reports[i].Error)
+			}
+		}
+	}
+
+	if *jsonOut {
+		rep := report{
+			Schema:      "gpuleak-bench/v1",
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Workers:     *workers,
+			Quick:       !*full,
+			Seed:        *seed,
+			WallSeconds: wall,
+			Failures:    failures,
+			Experiments: reports,
+		}
+		if *baseline != "" {
+			if prev, err := readBaseline(*baseline); err != nil {
+				log.Printf("baseline %s: %v", *baseline, err)
+			} else if wall > 0 {
+				rep.Speedup = prev.WallSeconds / wall
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	for i, e := range todo {
+		r := results[i]
+		if r == nil {
 			continue
 		}
 		if *markdown {
@@ -63,7 +154,7 @@ func main() {
 			fmt.Printf("\n*Paper: %s.*\n", e.Paper)
 		} else {
 			fmt.Printf("\n%s", r.Table.String())
-			fmt.Printf("[paper: %s]  (%.1fs)\n", e.Paper, time.Since(start).Seconds())
+			fmt.Printf("[paper: %s]  (%.1fs)\n", e.Paper, reports[i].Seconds)
 		}
 		if *metrics {
 			keys := make([]string, 0, len(r.Metrics))
@@ -79,4 +170,19 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+func readBaseline(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Schema != "gpuleak-bench/v1" {
+		return nil, fmt.Errorf("unsupported schema %q", rep.Schema)
+	}
+	return &rep, nil
 }

@@ -5,16 +5,36 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"gpuleak/internal/android"
 	"gpuleak/internal/attack"
 	"gpuleak/internal/keyboard"
+	"gpuleak/internal/parallel"
 	"gpuleak/internal/victim"
 )
+
+// trainReport is the -json output: one machine-readable line of training
+// cost and model shape for perf-trajectory tracking.
+type trainReport struct {
+	Schema      string  `json:"schema"`
+	Device      string  `json:"device"`
+	Keyboard    string  `json:"keyboard"`
+	App         string  `json:"app"`
+	Repeats     int     `json:"repeats"`
+	Workers     int     `json:"workers"`
+	Models      int     `json:"models"`
+	Keys        int     `json:"keys"`
+	Noise       int     `json:"noise"`
+	Bytes       int64   `json:"bytes"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Output      string  `json:"output"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -24,6 +44,8 @@ func main() {
 	kb := flag.String("keyboard", "gboard", "on-screen keyboard (gboard, swift, sogou, pinyin, go, grammarly)")
 	app := flag.String("app", "Chase", "target application for the login scene")
 	repeats := flag.Int("repeats", 3, "presses per key during collection")
+	workers := flag.Int("workers", 0, "collection worker pool size (1 = serial, 0 = one per CPU); the trained model is identical at any value")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable training report on stdout")
 	out := flag.String("o", "", "output file (default: model-<device>-<keyboard>.json)")
 	bundleAll := flag.Bool("bundle", false, "train every known device at this keyboard/app and write one bundle")
 	flag.Parse()
@@ -36,17 +58,26 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown app %q", *app)
 	}
+	copts := attack.CollectOptions{Repeats: *repeats, Workers: *workers}
 
 	if *bundleAll {
-		var models []*attack.Model
-		for _, d := range android.Devices {
+		start := time.Now()
+		// Per-device trainings are independent; they share the worker
+		// budget with each training's internal per-key fan-out.
+		models, err := parallel.Map(*workers, len(android.Devices), func(i int) (*attack.Model, error) {
+			d := android.Devices[i]
 			cfg := victim.Config{Device: d, Keyboard: layout, App: target, Seed: 1}
-			log.Printf("training %s ...", d.Name)
-			m, err := attack.Collect(cfg, attack.CollectOptions{Repeats: *repeats})
-			if err != nil {
-				log.Fatalf("%s: %v", d.Name, err)
+			if !*jsonOut {
+				log.Printf("training %s ...", d.Name)
 			}
-			models = append(models, m)
+			m, err := attack.Collect(cfg, copts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", d.Name, err)
+			}
+			return m, nil
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
 		path := *out
 		if path == "" {
@@ -61,7 +92,21 @@ func main() {
 			log.Fatalf("writing bundle: %v", err)
 		}
 		st, _ := f.Stat()
-		log.Printf("wrote %s (%d models, %d bytes)", path, len(models), st.Size())
+		if *jsonOut {
+			keys, noise := 0, 0
+			for _, m := range models {
+				keys += len(m.Keys)
+				noise += len(m.Noise)
+			}
+			emitReport(trainReport{
+				Schema: "gpuleak-collect/v1", Device: "all", Keyboard: layout.Name,
+				App: target.Name, Repeats: *repeats, Workers: *workers,
+				Models: len(models), Keys: keys, Noise: noise, Bytes: st.Size(),
+				WallSeconds: time.Since(start).Seconds(), Output: path,
+			})
+		} else {
+			log.Printf("wrote %s (%d models, %d bytes)", path, len(models), st.Size())
+		}
 		return
 	}
 
@@ -71,13 +116,19 @@ func main() {
 	}
 
 	cfg := victim.Config{Device: dev, Keyboard: layout, App: target, Seed: 1}
-	log.Printf("emulating all key presses on %s / %s / %s ...", dev.Name, layout.Name, target.Name)
-	m, err := attack.Collect(cfg, attack.CollectOptions{Repeats: *repeats})
+	if !*jsonOut {
+		log.Printf("emulating all key presses on %s / %s / %s ...", dev.Name, layout.Name, target.Name)
+	}
+	start := time.Now()
+	m, err := attack.Collect(cfg, copts)
 	if err != nil {
 		log.Fatalf("offline phase failed: %v", err)
 	}
-	log.Printf("trained: %d key centroids, %d noise signatures, Cth=%.2f",
-		len(m.Keys), len(m.Noise), m.Cth)
+	wall := time.Since(start).Seconds()
+	if !*jsonOut {
+		log.Printf("trained: %d key centroids, %d noise signatures, Cth=%.2f",
+			len(m.Keys), len(m.Noise), m.Cth)
+	}
 
 	path := *out
 	if path == "" {
@@ -92,7 +143,24 @@ func main() {
 		log.Fatalf("writing model: %v", err)
 	}
 	st, _ := f.Stat()
-	log.Printf("wrote %s (%d bytes)", path, st.Size())
+	if *jsonOut {
+		emitReport(trainReport{
+			Schema: "gpuleak-collect/v1", Device: dev.Name, Keyboard: layout.Name,
+			App: target.Name, Repeats: *repeats, Workers: *workers,
+			Models: 1, Keys: len(m.Keys), Noise: len(m.Noise), Bytes: st.Size(),
+			WallSeconds: wall, Output: path,
+		})
+	} else {
+		log.Printf("wrote %s (%d bytes)", path, st.Size())
+	}
+}
+
+func emitReport(r trainReport) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func sanitize(s string) string {

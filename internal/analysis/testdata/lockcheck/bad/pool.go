@@ -1,0 +1,27 @@
+package lckbad
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// pool is the classic worker-pool seeding hazard: one *rand.Rand shared
+// by every worker, guarded by mu — and a task body that draws from it
+// without the lock. Besides the data race, scheduling order would leak
+// into the stream and break run-to-run determinism.
+type pool struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// runTask races: it draws from the shared generator without locking mu.
+func (p *pool) runTask(results []float64, i int) {
+	results[i] = p.rng.Float64() // WANT
+}
+
+// Draw is correct and must not be flagged.
+func (p *pool) Draw() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64()
+}

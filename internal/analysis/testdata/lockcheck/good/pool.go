@@ -1,0 +1,34 @@
+package lckgood
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// pool holds lock-disciplined and task-local randomness patterns only.
+type pool struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	seed int64 // separated by a blank line: not guarded by mu
+}
+
+// Draw locks around the shared generator.
+func (p *pool) Draw() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64()
+}
+
+// runTask derives a task-local generator from the unguarded base seed —
+// the deterministic pattern the real pools use (sim.TaskSeed): no shared
+// stream, no lock, no scheduling leak.
+func (p *pool) runTask(results []float64, i int) {
+	local := rand.New(rand.NewSource(p.seed + int64(i+1)*0x9e3779b9))
+	results[i] = local.Float64()
+}
+
+// drawLocked is a helper invoked with mu already held.
+func (p *pool) drawLocked() float64 {
+	return p.rng.Float64() //gpuvet:ignore lockcheck -- held by caller
+}

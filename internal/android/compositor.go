@@ -1,6 +1,8 @@
 package android
 
 import (
+	"sync"
+
 	"gpuleak/internal/geom"
 	"gpuleak/internal/glyph"
 	"gpuleak/internal/keyboard"
@@ -22,10 +24,54 @@ type Compositor struct {
 	KB        *keyboard.Layout
 	UI        *LoginUI
 
-	cfg   render.Config
-	geoms map[keyboard.Page]*keyboard.Geometry
-	cache map[stateKey]render.FrameStats
+	cfg    render.Config
+	geoms  map[keyboard.Page]*keyboard.Geometry
+	cache  map[stateKey]render.FrameStats
+	shared *StatsCache
 }
+
+// StatsCache is a thread-safe FrameStats cache that many compositors can
+// share. Rendering is a pure function of the UI state, so sessions of the
+// IDENTICAL configuration (device, resolution, app, keyboard) — e.g. the
+// per-(key, repeat) workers of the parallel offline phase, or the
+// independent trials of one experiment batch — can pool their renders:
+// each distinct frame state is rasterized once per process instead of
+// once per session. Sharing a cache across differing configurations is a
+// caller bug (the state key does not encode the configuration).
+type StatsCache struct {
+	mu sync.Mutex
+	m  map[stateKey]render.FrameStats
+}
+
+// NewStatsCache returns an empty shareable render cache.
+func NewStatsCache() *StatsCache {
+	return &StatsCache{m: make(map[stateKey]render.FrameStats)}
+}
+
+func (sc *StatsCache) get(k stateKey) (render.FrameStats, bool) {
+	sc.mu.Lock()
+	st, ok := sc.m[k]
+	sc.mu.Unlock()
+	return st, ok
+}
+
+func (sc *StatsCache) put(k stateKey, st render.FrameStats) {
+	sc.mu.Lock()
+	sc.m[k] = st
+	sc.mu.Unlock()
+}
+
+// Len reports how many distinct frame states the cache holds.
+func (sc *StatsCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.m)
+}
+
+// ShareCache attaches a shared render cache; the compositor keeps its
+// lock-free private map as a first-level cache on top. Call before the
+// first frame is rendered.
+func (c *Compositor) ShareCache(sc *StatsCache) { c.shared = sc }
 
 type frameKind int
 
@@ -150,8 +196,19 @@ func (c *Compositor) cached(k stateKey, build func() render.FrameStats) render.F
 	if st, ok := c.cache[k]; ok {
 		return st
 	}
+	if c.shared != nil {
+		if st, ok := c.shared.get(k); ok {
+			c.cache[k] = st
+			return st
+		}
+	}
 	st := build()
 	c.cache[k] = st
+	if c.shared != nil {
+		// Concurrent builders may both render a state; the results are
+		// identical (rendering is pure), so last-write-wins is benign.
+		c.shared.put(k, st)
+	}
 	return st
 }
 

@@ -5,8 +5,10 @@ import (
 	"math"
 	"sort"
 
+	"gpuleak/internal/android"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
+	"gpuleak/internal/parallel"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
 	"gpuleak/internal/victim"
@@ -19,6 +21,11 @@ type CollectOptions struct {
 	Repeats int
 	// Interval is the counter polling period during collection.
 	Interval sim.Time
+	// Workers caps how many collection sessions run concurrently: 1 is
+	// fully serial, 0 (the default) uses one worker per CPU. Every task
+	// derives its RNG seed from (Config.Seed, task index) alone, so the
+	// resulting model is byte-identical at any worker count.
+	Workers int
 }
 
 func (o CollectOptions) withDefaults(vsync sim.Time) CollectOptions {
@@ -59,86 +66,46 @@ func ModelKeyFor(cfg victim.Config) ModelKey {
 	}
 }
 
-// Collect runs the offline phase (§3.2, §6): a bot emulates every typable
-// key on a controlled device of the given configuration, the resulting
-// counter trace is labeled with the known press times, and a
-// nearest-centroid classifier with noise signatures is constructed.
-func Collect(cfg victim.Config, opts CollectOptions) (*Model, error) {
-	// Controlled collection environment: the attacker owns this device, so
-	// notifications are silenced; cursor blink stays on because its delta
-	// signature must be learned as noise.
-	cfg.NotifPerMinute = -1
-	cfg.CPULoad = 0
-	cfg.GPULoad = 0
+// labelKind classifies a labeling window of the offline phase. The
+// attacker controls the collection device and the bot script, so every
+// expected UI event has a known frame time: popups at the press vsync,
+// echo updates at the release vsync, popup dismissals one vsync later,
+// page-switch redraws before cross-page presses, cursor blinks on a
+// strict 0.5 s grid, and the launch frame at the start.
+type labelKind int
 
-	sess := victim.New(cfg)
-	opts = opts.withDefaults(sess.Comp.VsyncPeriod())
-	alphabet := sess.Comp.KB.TypableRunes()
-	if len(alphabet) == 0 {
-		return nil, fmt.Errorf("attack: keyboard %q has no typable keys", sess.Comp.KB.Name)
-	}
+const (
+	lblKey labelKind = iota
+	lblEcho
+	lblHide
+	lblBlink
+	lblPageSwitch
+	lblLaunch
+)
 
-	// Bot script: each key pressed Repeats times with wide, regular gaps so
-	// popup, echo and dismissal deltas separate cleanly.
-	var script input.Script
-	t := 600 * sim.Millisecond
-	for rep := 0; rep < opts.Repeats; rep++ {
-		for _, r := range alphabet {
-			script.Events = append(script.Events, input.Event{
-				Kind: input.EvPress, R: r, At: t, Dur: 90 * sim.Millisecond,
-			})
-			t += 420 * sim.Millisecond
-		}
-	}
-	sess.Run(script)
+// window is one labeling window: the deltas inside it (a frame may split
+// across two reads) sum to the event's exact signature.
+type window struct {
+	from, to sim.Time
+	kind     labelKind
+	r        rune
+}
 
-	f, err := sess.Open()
-	if err != nil {
-		return nil, fmt.Errorf("attack: offline phase: %w", err)
-	}
-	sampler, err := NewSampler(f, opts.Interval)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := sampler.Collect(0, sess.End)
-	if err != nil {
-		return nil, err
-	}
-	deltas := tr.Deltas()
-
-	m := &Model{Key: ModelKeyFor(cfg), Keys: make(map[string]trace.Vec)}
-
-	// The attacker controls the collection device and the bot script, so
-	// every expected UI event has a known frame time: popups at the press
-	// vsync, echo updates at the release vsync, popup dismissals one vsync
-	// later, page-switch redraws before cross-page presses, cursor blinks
-	// on a strict 0.5 s grid, and the launch frame at the start. Each event
-	// gets a labeling window two polling intervals long; the deltas inside
-	// a window (a frame may split across two reads) sum to the event's
-	// exact signature.
-	type labelKind int
-	const (
-		lblKey labelKind = iota
-		lblEcho
-		lblHide
-		lblBlink
-		lblPageSwitch
-		lblLaunch
-	)
-	type window struct {
-		from, to sim.Time
-		kind     labelKind
-		r        rune
-	}
-	// Labeling windows are two polling intervals long but never span a
-	// whole vsync period — the next frame (popup duplication, dismissal)
-	// must stay out of the window.
-	vsync := sess.Comp.VsyncPeriod()
-	wlen := 2 * opts.Interval
+// windowLen is the labeling-window length: two polling intervals, but
+// never a whole vsync period — the next frame (popup duplication,
+// dismissal) must stay out of the window.
+func windowLen(interval, vsync sim.Time) sim.Time {
+	wlen := 2 * interval
 	if wlen > vsync {
 		wlen = vsync
 	}
-	wlen += sim.Microsecond
+	return wlen + sim.Microsecond
+}
+
+// labelWindows derives the labeling windows of a materialized bot session
+// from its known script, in start-time order.
+func labelWindows(sess *victim.Session, script input.Script, wlen sim.Time) []window {
+	vsync := sess.Comp.VsyncPeriod()
 	var wins []window
 	wins = append(wins, window{from: sess.LaunchAt, to: sess.LaunchAt + wlen, kind: lblLaunch})
 	curPage := keyboard.PageLower
@@ -161,17 +128,48 @@ func Collect(cfg victim.Config, opts CollectOptions) (*Model, error) {
 		wins = append(wins, window{from: echo, to: echo + wlen, kind: lblEcho})
 		wins = append(wins, window{from: echo + vsync, to: echo + vsync + wlen, kind: lblHide})
 	}
-	if !cfg.DisableCursorBlink {
+	if !sess.Cfg.DisableCursorBlink {
 		for t := sess.LaunchAt + 500*sim.Millisecond; t < sess.End; t += 500 * sim.Millisecond {
 			at := sess.Comp.AlignVsync(t)
 			wins = append(wins, window{from: at, to: at + wlen, kind: lblBlink})
 		}
 	}
 	sort.Slice(wins, func(i, j int) bool { return wins[i].from < wins[j].from })
+	return wins
+}
 
-	// Assign each delta to the earliest-starting window containing it; a
-	// delta belonging to no window (e.g. a popup-animation duplication) is
-	// discarded — it replays a signature that is already labeled.
+// sampleWindows polls the session's counters and sums each delta into the
+// earliest-starting window containing it; a delta belonging to no window
+// (e.g. a popup-animation duplication) is discarded — it replays a
+// signature that is already labeled. Sampling stops shortly after the
+// last window since later deltas could not be labeled anyway.
+func sampleWindows(sess *victim.Session, interval sim.Time, wins []window) ([]trace.Vec, []bool, error) {
+	f, err := sess.Open()
+	if err != nil {
+		return nil, nil, fmt.Errorf("attack: offline phase: %w", err)
+	}
+	sampler, err := NewSampler(f, interval)
+	if err != nil {
+		return nil, nil, err
+	}
+	end := sess.End
+	if len(wins) > 0 {
+		last := wins[0].to
+		for _, w := range wins {
+			if w.to > last {
+				last = w.to
+			}
+		}
+		if trunc := last + 2*interval; trunc < end {
+			end = trunc
+		}
+	}
+	tr, err := sampler.Collect(0, end)
+	if err != nil {
+		return nil, nil, err
+	}
+	deltas := tr.Deltas()
+
 	sums := make([]trace.Vec, len(wins))
 	got := make([]bool, len(wins))
 	wi := 0
@@ -187,17 +185,166 @@ func Collect(cfg victim.Config, opts CollectOptions) (*Model, error) {
 			}
 		}
 	}
+	return sums, got, nil
+}
 
-	// Key centroids: keep the smallest-magnitude repeat (a repeat whose
-	// window accidentally caught extra work sums high).
-	w := trace.Ones()
-	samples := make(map[rune]trace.Vec)
+// taskOut is the result of one collection task. Tasks communicate only
+// through their index-addressed slot, which is what keeps the merged
+// model independent of scheduling.
+type taskOut struct {
+	key   trace.Vec // lblKey window sum (key tasks)
+	keyOK bool
+
+	launch trace.Vec       // lblLaunch window sum (sweep task)
+	noise  []NoiseCentroid // labeled non-key signatures, in window time order
+}
+
+// collectSweep is task 0 of the offline phase: a single pass over the
+// whole alphabet plus one trailing lower-page press. It exists to learn
+// everything that is NOT a key centroid — the launch fingerprint and the
+// noise signatures: echo redraws at every field length the online phase
+// can meet, popup dismissals of every key, page-switch redraws in both
+// directions (the trailing press switches symbol→lower) and cursor
+// blinks. Its key windows are labeled so press deltas cannot pollute
+// adjacent noise windows, then discarded.
+func collectSweep(opts CollectOptions, sess *victim.Session, alphabet []rune, wlen sim.Time) (taskOut, error) {
+	var script input.Script
+	t := 600 * sim.Millisecond
+	press := func(r rune) {
+		script.Events = append(script.Events, input.Event{
+			Kind: input.EvPress, R: r, At: t, Dur: 90 * sim.Millisecond,
+		})
+		t += 420 * sim.Millisecond
+	}
+	for _, r := range alphabet {
+		press(r)
+	}
+	press(alphabet[0])
+	sess.Run(script)
+
+	wins := labelWindows(sess, script, wlen)
+	sums, got, err := sampleWindows(sess, opts.Interval, wins)
+	if err != nil {
+		return taskOut{}, err
+	}
+	var out taskOut
 	for j, win := range wins {
-		if win.kind != lblKey || !got[j] {
+		if !got[j] {
 			continue
 		}
-		if prev, ok := samples[win.r]; !ok || sums[j].Norm(w) < prev.Norm(w) {
-			samples[win.r] = sums[j]
+		switch win.kind {
+		case lblLaunch:
+			// The launch frame doubles as the device-recognition
+			// fingerprint (§3.2).
+			out.launch = sums[j]
+			out.noise = append(out.noise, NoiseCentroid{Class: NoiseLaunch, V: sums[j]})
+		case lblEcho:
+			out.noise = append(out.noise, NoiseCentroid{Class: NoiseEcho, V: sums[j]})
+		case lblHide:
+			out.noise = append(out.noise, NoiseCentroid{Class: NoisePopupHide, V: sums[j]})
+		case lblBlink:
+			out.noise = append(out.noise, NoiseCentroid{Class: NoiseBlink, V: sums[j]})
+		case lblPageSwitch:
+			out.noise = append(out.noise, NoiseCentroid{Class: NoisePageSwitch, V: sums[j]})
+		}
+	}
+	return out, nil
+}
+
+// collectKey is one per-(key, repeat) task: a minimal session pressing a
+// single key with nothing else on screen, yielding one candidate centroid
+// for that key. Cursor blink is disabled — the sweep task learns blink
+// signatures — so the key window is as clean as the hardware allows.
+func collectKey(cfg victim.Config, opts CollectOptions, r rune, wlen sim.Time) (taskOut, error) {
+	cfg.DisableCursorBlink = true
+	sess := victim.New(cfg)
+	script := input.Script{Events: []input.Event{{
+		Kind: input.EvPress, R: r, At: 600 * sim.Millisecond, Dur: 90 * sim.Millisecond,
+	}}}
+	sess.Run(script)
+
+	wins := labelWindows(sess, script, wlen)
+	sums, got, err := sampleWindows(sess, opts.Interval, wins)
+	if err != nil {
+		return taskOut{}, err
+	}
+	var out taskOut
+	for j, win := range wins {
+		if win.kind == lblKey && got[j] {
+			out.key = sums[j]
+			out.keyOK = true
+		}
+	}
+	return out, nil
+}
+
+// Collect runs the offline phase (§3.2, §6): a bot emulates every typable
+// key on a controlled device of the given configuration, the resulting
+// counter trace is labeled with the known press times, and a
+// nearest-centroid classifier with noise signatures is constructed.
+//
+// The work is decomposed into 1 + len(alphabet)*Repeats independent
+// tasks — one noise/launch sweep plus one mini-session per (key, repeat) —
+// executed on opts.Workers goroutines. Task i seeds its RNG with
+// sim.TaskSeed(cfg.Seed, i) and all tasks of one call share a render
+// cache, so the model depends only on (cfg, opts minus Workers), never on
+// the worker count or scheduling.
+func Collect(cfg victim.Config, opts CollectOptions) (*Model, error) {
+	// Controlled collection environment: the attacker owns this device, so
+	// notifications are silenced; cursor blink stays on because its delta
+	// signature must be learned as noise.
+	cfg.NotifPerMinute = -1
+	cfg.CPULoad = 0
+	cfg.GPULoad = 0
+	if cfg.RenderCache == nil {
+		// All tasks share the identical configuration, so each distinct
+		// frame state is rasterized once per Collect, not once per task.
+		cfg.RenderCache = android.NewStatsCache()
+	}
+
+	baseSeed := cfg.Seed
+	taskCfg := func(i int) victim.Config {
+		c := cfg
+		c.Seed = sim.TaskSeed(baseSeed, i)
+		return c
+	}
+
+	// The sweep session is created eagerly: it also supplies the vsync
+	// period and alphabet that shape the task list.
+	sweepSess := victim.New(taskCfg(0))
+	opts = opts.withDefaults(sweepSess.Comp.VsyncPeriod())
+	wlen := windowLen(opts.Interval, sweepSess.Comp.VsyncPeriod())
+	alphabet := sweepSess.Comp.KB.TypableRunes()
+	if len(alphabet) == 0 {
+		return nil, fmt.Errorf("attack: keyboard %q has no typable keys", sweepSess.Comp.KB.Name)
+	}
+
+	nKeys := len(alphabet)
+	nTasks := 1 + nKeys*opts.Repeats
+	outs, err := parallel.Map(opts.Workers, nTasks, func(i int) (taskOut, error) {
+		if i == 0 {
+			return collectSweep(opts, sweepSess, alphabet, wlen)
+		}
+		return collectKey(taskCfg(i), opts, alphabet[(i-1)%nKeys], wlen)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{Key: ModelKeyFor(cfg), Keys: make(map[string]trace.Vec)}
+
+	// Key centroids: keep the smallest-magnitude repeat (a repeat whose
+	// window accidentally caught extra work sums high). Tasks are merged
+	// in index order, so ties resolve identically at any worker count.
+	w := trace.Ones()
+	samples := make(map[rune]trace.Vec)
+	for i := 1; i < nTasks; i++ {
+		if !outs[i].keyOK {
+			continue
+		}
+		r := alphabet[(i-1)%nKeys]
+		if prev, ok := samples[r]; !ok || outs[i].key.Norm(w) < prev.Norm(w) {
+			samples[r] = outs[i].key
 		}
 	}
 	for r, v := range samples {
@@ -218,39 +365,18 @@ func Collect(cfg victim.Config, opts CollectOptions) (*Model, error) {
 	m.Cth = 12
 	m.NoiseTol = 4
 
-	// Noise centroids from the labeled non-key windows.
+	// Noise centroids and the launch fingerprint come from the sweep task.
 	// Duplication replays never land in a labeling window, so every
 	// labeled non-key window is a genuine noise signature.
+	m.Launch = outs[0].launch
 	seen := map[string]bool{}
-	addNoise := func(class NoiseClass, v trace.Vec) {
-		sig := fmt.Sprintf("%v", v)
+	for _, nc := range outs[0].noise {
+		sig := fmt.Sprintf("%v", nc.V)
 		if seen[sig] {
-			return
-		}
-		seen[sig] = true
-		m.Noise = append(m.Noise, NoiseCentroid{Class: class, V: v})
-	}
-	for j, win := range wins {
-		if !got[j] {
 			continue
 		}
-		if win.kind == lblLaunch {
-			// The launch frame doubles as the device-recognition
-			// fingerprint (§3.2).
-			m.Launch = sums[j]
-		}
-		switch win.kind {
-		case lblEcho:
-			addNoise(NoiseEcho, sums[j])
-		case lblHide:
-			addNoise(NoisePopupHide, sums[j])
-		case lblBlink:
-			addNoise(NoiseBlink, sums[j])
-		case lblPageSwitch:
-			addNoise(NoisePageSwitch, sums[j])
-		case lblLaunch:
-			addNoise(NoiseLaunch, sums[j])
-		}
+		seen[sig] = true
+		m.Noise = append(m.Noise, nc)
 	}
 	sort.Slice(m.Noise, func(i, j int) bool {
 		if m.Noise[i].Class != m.Noise[j].Class {

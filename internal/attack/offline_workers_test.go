@@ -1,0 +1,87 @@
+package attack
+
+import (
+	"bytes"
+	"testing"
+
+	"gpuleak/internal/android"
+	"gpuleak/internal/victim"
+)
+
+// modelBytes serializes a model; encoding/json writes map keys sorted, so
+// byte equality is a faithful model-equality check (Model carries no
+// exported nondeterministic state).
+func modelBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCollectBitIdenticalAcrossWorkers is the tentpole guarantee: the
+// offline phase derives every task's randomness from (seed, task index),
+// so the trained model is byte-for-byte identical at any worker count.
+func TestCollectBitIdenticalAcrossWorkers(t *testing.T) {
+	cfg := victim.Config{Device: android.OnePlus8Pro, Seed: 42, RenderJitter: 0.004}
+	var want []byte
+	for _, workers := range []int{1, 4, 8} {
+		m, err := Collect(cfg, CollectOptions{Repeats: 2, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := modelBytes(t, m)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d produced a different model than workers=1 (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestCollectSeedSensitivity guards against the per-task seeding
+// accidentally ignoring the base seed: different base seeds must yield
+// different jittered observations.
+func TestCollectSeedSensitivity(t *testing.T) {
+	mk := func(seed int64) []byte {
+		cfg := victim.Config{Device: android.OnePlus8Pro, Seed: seed, RenderJitter: 0.004}
+		m, err := Collect(cfg, CollectOptions{Repeats: 1, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return modelBytes(t, m)
+	}
+	if bytes.Equal(mk(1), mk(2)) {
+		t.Fatal("models for different base seeds are identical; task seeding ignores the base seed")
+	}
+}
+
+// TestCollectSharedCacheMatchesPrivate verifies that handing Collect a
+// pre-populated shared render cache cannot change the trained model:
+// rendering is pure, so cache hits and misses are indistinguishable.
+func TestCollectSharedCacheMatchesPrivate(t *testing.T) {
+	cfg := victim.Config{Device: android.OnePlus8Pro, Seed: 7, RenderJitter: 0.004}
+	a, err := Collect(cfg, CollectOptions{Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := android.NewStatsCache()
+	cfg.RenderCache = cache
+	if _, err := Collect(cfg, CollectOptions{Repeats: 1}); err != nil {
+		t.Fatal(err) // warm the cache
+	}
+	if cache.Len() == 0 {
+		t.Fatal("shared render cache unused by Collect")
+	}
+	b, err := Collect(cfg, CollectOptions{Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, a), modelBytes(t, b)) {
+		t.Fatal("warm shared cache changed the trained model")
+	}
+}

@@ -37,7 +37,7 @@ func RunAblationDedup(o Options) (*Result, error) {
 	}
 	for ci, c := range cases {
 		// Fast typists stress the window the most.
-		b, err := RunBatch(cfg, m, LowerDigits, 10, per,
+		b, err := RunBatch(o, cfg, m, LowerDigits, 10, per,
 			input.Volunteers[3], input.SpeedFast, attack.DefaultInterval,
 			c.opts, o.Seed+int64(ci)*81799)
 		if err != nil {
@@ -61,7 +61,7 @@ func RunAblationSplit(o Options) (*Result, error) {
 	}
 	per := o.Trials(120)
 	for ci, disabled := range []bool{false, true} {
-		b, err := RunBatch(cfg, m, LowerDigits, 10, per,
+		b, err := RunBatch(o, cfg, m, LowerDigits, 10, per,
 			input.Volunteers[0], input.SpeedAny, attack.DefaultInterval,
 			attack.OnlineOptions{DisableSplitCombine: disabled}, o.Seed+int64(ci)*91493)
 		if err != nil {
@@ -95,7 +95,7 @@ func RunAblationThreshold(o Options) (*Result, error) {
 	for si, scale := range []float64{0.1, 0.5, 1.0, 3.0, 10.0} {
 		m := base.Clone()
 		m.Cth = base.Cth * scale
-		b, err := RunBatch(cfg, m, LowerDigits, 10, per,
+		b, err := RunBatch(o, cfg, m, LowerDigits, 10, per,
 			input.Volunteers[1], input.SpeedAny, attack.DefaultInterval,
 			attack.OnlineOptions{}, o.Seed+int64(si)*10007)
 		if err != nil {
@@ -146,7 +146,7 @@ func RunAblationCounterSet(o Options) (*Result, error) {
 			}
 		}
 		m.Weights = w
-		b, err := RunBatch(cfg, m, LowerDigits, 10, per,
+		b, err := RunBatch(o, cfg, m, LowerDigits, 10, per,
 			input.Volunteers[2], input.SpeedAny, attack.DefaultInterval,
 			attack.OnlineOptions{}, o.Seed+int64(mi)*11003)
 		if err != nil {

@@ -9,13 +9,13 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"gpuleak/internal/android"
 	"gpuleak/internal/attack"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
+	"gpuleak/internal/parallel"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/stats"
 	"gpuleak/internal/victim"
@@ -28,6 +28,12 @@ type Options struct {
 	Quick bool
 	// Seed drives every random choice in the experiment.
 	Seed int64
+	// Workers caps the worker pool each experiment fans its independent
+	// trials, configurations and training sessions across: 1 is fully
+	// serial, 0 (the default) uses one worker per CPU. Results are
+	// byte-identical at any worker count — every trial derives its seed
+	// from its index, never from scheduling.
+	Workers int
 }
 
 // Trials scales a paper-sized trial count down in quick mode.
@@ -76,15 +82,33 @@ func DefaultConfig() victim.Config {
 
 // modelCache shares trained classifiers across experiments; offline
 // collection is the expensive step, exactly as in the real attack where
-// models are trained once per configuration and preloaded.
+// models are trained once per configuration and preloaded. Each entry is
+// a singleflight: the first caller of a configuration trains while the
+// lock is released, so concurrent experiments training DIFFERENT
+// configurations proceed in parallel and concurrent callers of the SAME
+// configuration wait for one training instead of duplicating it.
+type modelEntry struct {
+	once sync.Once
+	m    *attack.Model
+	err  error
+}
+
 var (
 	modelMu    sync.Mutex
-	modelCache = map[string]*attack.Model{}
+	modelCache = map[string]*modelEntry{}
 )
 
-// TrainModel returns the (cached) classifier for a configuration.
-// Training always runs on a clean lab device: no render jitter, no load.
+// TrainModel returns the (cached) classifier for a configuration,
+// training with one collection worker per CPU.
 func TrainModel(cfg victim.Config) (*attack.Model, error) {
+	return TrainModelWorkers(cfg, 0)
+}
+
+// TrainModelWorkers is TrainModel with an explicit collection worker
+// count (1 = serial, 0 = one per CPU). The worker count never changes the
+// trained model — collection is byte-identical at any worker count — so
+// it is not part of the cache key.
+func TrainModelWorkers(cfg victim.Config, workers int) (*attack.Model, error) {
 	train := cfg
 	train.RenderJitter = 0
 	train.CPULoad = 0
@@ -92,16 +116,16 @@ func TrainModel(cfg victim.Config) (*attack.Model, error) {
 	train.Seed = 12345
 	key := attack.ModelKeyFor(train).String() + fmt.Sprintf("/app=%s", appName(train))
 	modelMu.Lock()
-	defer modelMu.Unlock()
-	if m, ok := modelCache[key]; ok {
-		return m, nil
+	e, ok := modelCache[key]
+	if !ok {
+		e = &modelEntry{}
+		modelCache[key] = e
 	}
-	m, err := attack.Collect(train, attack.CollectOptions{Repeats: 2})
-	if err != nil {
-		return nil, err
-	}
-	modelCache[key] = m
-	return m, nil
+	modelMu.Unlock()
+	e.once.Do(func() {
+		e.m, e.err = attack.Collect(train, attack.CollectOptions{Repeats: 2, Workers: workers})
+	})
+	return e.m, e.err
 }
 
 func appName(cfg victim.Config) string {
@@ -163,9 +187,10 @@ func (b *BatchResult) CharAccuracy() float64 { return stats.CharAccuracy(b.Infer
 func (b *BatchResult) MeanErrors() float64 { return stats.MeanErrors(b.Inferred, b.Truth) }
 
 // RunBatch eavesdrops n random credentials of the given length. Sessions
-// are independent simulations, so they run on a worker pool; texts and
-// seeds are assigned by index, keeping results identical to a serial run.
-func RunBatch(cfg victim.Config, m *attack.Model, alphabet []rune, length, n int,
+// are independent simulations, so they fan out across o.Workers; texts
+// and seeds are assigned by index, keeping results identical to a serial
+// run.
+func RunBatch(o Options, cfg victim.Config, m *attack.Model, alphabet []rune, length, n int,
 	vol input.Volunteer, speed input.Speed, interval sim.Time,
 	opts attack.OnlineOptions, seed int64) (*BatchResult, error) {
 
@@ -178,40 +203,23 @@ func RunBatch(cfg victim.Config, m *attack.Model, alphabet []rune, length, n int
 	type slot struct {
 		inferred, truth string
 		stats           attack.EngineStats
-		err             error
 	}
 	slots := make([]slot, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	err := parallel.ForEach(o.Workers, n, func(i int) error {
+		inf, truth, st, err := EavesdropOnce(cfg, m, texts[i], vol, speed,
+			interval, opts, seed+int64(i)*101)
+		if err != nil {
+			return err
+		}
+		slots[i] = slot{inferred: inf, truth: truth, stats: st}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				inf, truth, st, err := EavesdropOnce(cfg, m, texts[i], vol, speed,
-					interval, opts, seed+int64(i)*101)
-				slots[i] = slot{inferred: inf, truth: truth, stats: st, err: err}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 
 	out := &BatchResult{}
 	for _, s := range slots {
-		if s.err != nil {
-			return nil, s.err
-		}
 		out.Inferred = append(out.Inferred, s.inferred)
 		out.Truth = append(out.Truth, s.truth)
 		accumulate(&out.Stats, s.stats)

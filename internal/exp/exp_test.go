@@ -406,7 +406,7 @@ func TestRunBatchParallelDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func() *BatchResult {
-		b, err := RunBatch(cfg, m, LowerDigits, 8, 12, input.Volunteers[0],
+		b, err := RunBatch(Options{}, cfg, m, LowerDigits, 8, 12, input.Volunteers[0],
 			input.SpeedAny, attack.DefaultInterval, attack.OnlineOptions{}, 777)
 		if err != nil {
 			t.Fatal(err)
@@ -434,7 +434,7 @@ func TestCalibrationRobustAcrossSeeds(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, seed := range []int64{101, 987654, 31337} {
-		b, err := RunBatch(cfg, m, LowerDigits, 10, 20, input.Volunteers[int(seed)%5],
+		b, err := RunBatch(Options{}, cfg, m, LowerDigits, 10, 20, input.Volunteers[int(seed)%5],
 			input.SpeedAny, attack.DefaultInterval, attack.OnlineOptions{}, seed)
 		if err != nil {
 			t.Fatal(err)

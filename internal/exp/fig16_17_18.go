@@ -65,7 +65,7 @@ func RunFig17(o Options) (*Result, error) {
 	all := &BatchResult{}
 	var textAccs []float64
 	for li, L := range lengths {
-		b, err := RunBatch(cfg, m, CredAlphabet, L, perLength,
+		b, err := RunBatch(o, cfg, m, CredAlphabet, L, perLength,
 			input.Volunteers[li%5], input.SpeedAny, attack.DefaultInterval,
 			attack.OnlineOptions{}, o.Seed+int64(L)*7919)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"gpuleak/internal/attack"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
+	"gpuleak/internal/parallel"
 	"gpuleak/internal/stats"
 )
 
@@ -16,21 +17,25 @@ func RunFig19(o Options) (*Result, error) {
 		"app", "text acc", "char acc")
 
 	perApp := o.Trials(100)
-	var minText float64 = 1
-	for ai, app := range android.TargetApps {
+	// The nine apps are independent configurations; run them through the
+	// pool and assemble rows in app order afterwards.
+	batches, err := parallel.Map(o.Workers, len(android.TargetApps), func(ai int) (*BatchResult, error) {
 		cfg := DefaultConfig()
-		cfg.App = app
-		m, err := TrainModel(cfg)
+		cfg.App = android.TargetApps[ai]
+		m, err := TrainModelWorkers(cfg, o.Workers)
 		if err != nil {
 			return nil, err
 		}
-		b, err := RunBatch(cfg, m, LowerDigits, 10, perApp,
+		return RunBatch(o, cfg, m, LowerDigits, 10, perApp,
 			input.Volunteers[ai%5], input.SpeedAny, attack.DefaultInterval,
 			attack.OnlineOptions{}, o.Seed+int64(ai)*19391)
-		if err != nil {
-			return nil, err
-		}
-		ta, ca := b.TextAccuracy(), b.CharAccuracy()
+	})
+	if err != nil {
+		return nil, err
+	}
+	var minText float64 = 1
+	for ai, app := range android.TargetApps {
+		ta, ca := batches[ai].TextAccuracy(), batches[ai].CharAccuracy()
 		res.Table.AddRow(app.Name, stats.Pct(ta), stats.Pct(ca))
 		res.Metrics["text_"+app.Name] = ta
 		res.Metrics["char_"+app.Name] = ca
@@ -50,21 +55,23 @@ func RunFig20(o Options) (*Result, error) {
 		"keyboard", "text acc", "char acc")
 
 	perKb := o.Trials(100)
-	var lo, hi float64 = 1, 0
-	for ki, kb := range keyboard.All {
+	batches, err := parallel.Map(o.Workers, len(keyboard.All), func(ki int) (*BatchResult, error) {
 		cfg := DefaultConfig()
-		cfg.Keyboard = kb
-		m, err := TrainModel(cfg)
+		cfg.Keyboard = keyboard.All[ki]
+		m, err := TrainModelWorkers(cfg, o.Workers)
 		if err != nil {
 			return nil, err
 		}
-		b, err := RunBatch(cfg, m, LowerDigits, 10, perKb,
+		return RunBatch(o, cfg, m, LowerDigits, 10, perKb,
 			input.Volunteers[ki%5], input.SpeedAny, attack.DefaultInterval,
 			attack.OnlineOptions{}, o.Seed+int64(ki)*26407)
-		if err != nil {
-			return nil, err
-		}
-		ta, ca := b.TextAccuracy(), b.CharAccuracy()
+	})
+	if err != nil {
+		return nil, err
+	}
+	var lo, hi float64 = 1, 0
+	for ki, kb := range keyboard.All {
+		ta, ca := batches[ki].TextAccuracy(), batches[ki].CharAccuracy()
 		res.Table.AddRow(kb.Name, stats.Pct(ta), stats.Pct(ca))
 		res.Metrics["text_"+kb.Name] = ta
 		res.Metrics["char_"+kb.Name] = ca
@@ -90,21 +97,24 @@ func RunFig21(o Options) (*Result, error) {
 	cfg := DefaultConfig()
 	// Speed sensitivity comes from noise accumulating over the longer
 	// trace; keep the default notification rate.
-	m, err := TrainModel(cfg)
+	m, err := TrainModelWorkers(cfg, o.Workers)
 	if err != nil {
 		return nil, err
 	}
 	per := o.Trials(300)
 	speeds := []input.Speed{input.SpeedSlow, input.SpeedMedium, input.SpeedFast}
+	batches, err := parallel.Map(o.Workers, len(speeds), func(si int) (*BatchResult, error) {
+		return RunBatch(o, cfg, m, LowerDigits, 10, per,
+			input.Volunteers[si%5], speeds[si], attack.DefaultInterval,
+			attack.OnlineOptions{}, o.Seed+int64(si)*31357)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var fastText, slowText float64
 	var charAccs []float64
 	for si, sp := range speeds {
-		b, err := RunBatch(cfg, m, LowerDigits, 10, per,
-			input.Volunteers[si%5], sp, attack.DefaultInterval,
-			attack.OnlineOptions{}, o.Seed+int64(si)*31357)
-		if err != nil {
-			return nil, err
-		}
+		b := batches[si]
 		ta, ca, me := b.TextAccuracy(), b.CharAccuracy(), b.MeanErrors()
 		res.Table.AddRow(sp.String(), stats.Pct(ta), stats.Pct(ca), stats.Fmt(me))
 		res.Metrics["text_"+sp.String()] = ta

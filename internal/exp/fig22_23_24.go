@@ -7,6 +7,7 @@ import (
 	"gpuleak/internal/attack"
 	"gpuleak/internal/geom"
 	"gpuleak/internal/input"
+	"gpuleak/internal/parallel"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/stats"
 	"gpuleak/internal/victim"
@@ -20,35 +21,49 @@ func RunFig22(o Options) (*Result, error) {
 		"load", "level", "text acc", "char acc")
 
 	cfg := DefaultConfig()
-	m, err := TrainModel(cfg)
+	m, err := TrainModelWorkers(cfg, o.Workers)
 	if err != nil {
 		return nil, err
 	}
 	per := o.Trials(150)
 	levels := []float64{0, 0.25, 0.50, 0.75}
 
-	run := func(kind string, set func(*victim.Config, float64)) error {
-		for li, lv := range levels {
-			c := cfg
-			set(&c, lv)
-			b, err := RunBatch(c, m, LowerDigits, 10, per,
-				input.Volunteers[li%5], input.SpeedAny, attack.DefaultInterval,
-				attack.OnlineOptions{}, o.Seed+int64(li)*41231+hash32(kind))
-			if err != nil {
-				return err
-			}
-			ta, ca := b.TextAccuracy(), b.CharAccuracy()
-			res.Table.AddRow(kind, fmt.Sprintf("%.0f%%", lv*100), stats.Pct(ta), stats.Pct(ca))
-			res.Metrics[fmt.Sprintf("%s_%.0f_text", kind, lv*100)] = ta
-			res.Metrics[fmt.Sprintf("%s_%.0f_char", kind, lv*100)] = ca
+	// Flatten the (kind, level) grid into one task list; seeds depend on
+	// the level index and kind exactly as the serial loops used.
+	type cell struct {
+		kind string
+		li   int
+		set  func(*victim.Config, float64)
+	}
+	var cells []cell
+	for _, k := range []struct {
+		kind string
+		set  func(*victim.Config, float64)
+	}{
+		{"cpu", func(c *victim.Config, lv float64) { c.CPULoad = lv }},
+		{"gpu", func(c *victim.Config, lv float64) { c.GPULoad = lv }},
+	} {
+		for li := range levels {
+			cells = append(cells, cell{kind: k.kind, li: li, set: k.set})
 		}
-		return nil
 	}
-	if err := run("cpu", func(c *victim.Config, lv float64) { c.CPULoad = lv }); err != nil {
+	batches, err := parallel.Map(o.Workers, len(cells), func(i int) (*BatchResult, error) {
+		cl := cells[i]
+		c := cfg
+		cl.set(&c, levels[cl.li])
+		return RunBatch(o, c, m, LowerDigits, 10, per,
+			input.Volunteers[cl.li%5], input.SpeedAny, attack.DefaultInterval,
+			attack.OnlineOptions{}, o.Seed+int64(cl.li)*41231+hash32(cl.kind))
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := run("gpu", func(c *victim.Config, lv float64) { c.GPULoad = lv }); err != nil {
-		return nil, err
+	for i, cl := range cells {
+		lv := levels[cl.li]
+		ta, ca := batches[i].TextAccuracy(), batches[i].CharAccuracy()
+		res.Table.AddRow(cl.kind, fmt.Sprintf("%.0f%%", lv*100), stats.Pct(ta), stats.Pct(ca))
+		res.Metrics[fmt.Sprintf("%s_%.0f_text", cl.kind, lv*100)] = ta
+		res.Metrics[fmt.Sprintf("%s_%.0f_char", cl.kind, lv*100)] = ca
 	}
 	return res, nil
 }
@@ -70,25 +85,32 @@ func RunFig23(o Options) (*Result, error) {
 		"refresh", "interval", "text acc", "char acc")
 
 	per := o.Trials(150)
-	for _, hz := range []int{60, 120} {
+	refreshes := []int{60, 120}
+	intervals := []sim.Time{4 * sim.Millisecond, 8 * sim.Millisecond, 12 * sim.Millisecond}
+	// One task per (refresh, interval) cell. Both cells of one refresh
+	// rate train the same model; the singleflight cache ensures exactly
+	// one training runs per rate no matter which cell gets there first.
+	batches, err := parallel.Map(o.Workers, len(refreshes)*len(intervals), func(i int) (*BatchResult, error) {
+		hz, ii := refreshes[i/len(intervals)], i%len(intervals)
 		cfg := DefaultConfig()
 		cfg.RefreshHz = hz
-		m, err := TrainModel(cfg)
+		m, err := TrainModelWorkers(cfg, o.Workers)
 		if err != nil {
 			return nil, err
 		}
-		for ii, interval := range []sim.Time{4 * sim.Millisecond, 8 * sim.Millisecond, 12 * sim.Millisecond} {
-			b, err := RunBatch(cfg, m, LowerDigits, 10, per,
-				input.Volunteers[ii%5], input.SpeedAny, interval,
-				attack.OnlineOptions{}, o.Seed+int64(hz)*7+int64(ii)*52561)
-			if err != nil {
-				return nil, err
-			}
-			ta, ca := b.TextAccuracy(), b.CharAccuracy()
-			res.Table.AddRow(fmt.Sprintf("%dHz", hz), interval.String(), stats.Pct(ta), stats.Pct(ca))
-			res.Metrics[fmt.Sprintf("%dhz_%dms_text", hz, int(interval/sim.Millisecond))] = ta
-			res.Metrics[fmt.Sprintf("%dhz_%dms_char", hz, int(interval/sim.Millisecond))] = ca
-		}
+		return RunBatch(o, cfg, m, LowerDigits, 10, per,
+			input.Volunteers[ii%5], input.SpeedAny, intervals[ii],
+			attack.OnlineOptions{}, o.Seed+int64(hz)*7+int64(ii)*52561)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range batches {
+		hz, interval := refreshes[i/len(intervals)], intervals[i%len(intervals)]
+		ta, ca := b.TextAccuracy(), b.CharAccuracy()
+		res.Table.AddRow(fmt.Sprintf("%dHz", hz), interval.String(), stats.Pct(ta), stats.Pct(ca))
+		res.Metrics[fmt.Sprintf("%dhz_%dms_text", hz, int(interval/sim.Millisecond))] = ta
+		res.Metrics[fmt.Sprintf("%dhz_%dms_char", hz, int(interval/sim.Millisecond))] = ca
 	}
 	return res, nil
 }
@@ -102,15 +124,51 @@ func RunFig24(o Options) (*Result, error) {
 		"sweep", "configuration", "text acc", "char acc")
 
 	per := o.Trials(100)
-	seed := o.Seed
-	var texts []float64
 
-	eval := func(sweep, label string, cfg victim.Config) error {
-		m, err := TrainModel(cfg)
+	// The serial version advanced one running seed by 60013 per
+	// configuration; enumerating the sweeps up front makes that seed a
+	// pure function of the configuration index so the evaluations can fan
+	// out without changing a single trial.
+	type sweepCfg struct {
+		sweep, label string
+		cfg          victim.Config
+	}
+	var cfgs []sweepCfg
+	addCfg := func(sweep, label string, cfg victim.Config) {
+		cfgs = append(cfgs, sweepCfg{sweep: sweep, label: label, cfg: cfg})
+	}
+	// (a) GPU models.
+	for _, dev := range []android.DeviceModel{android.LGV30, android.OnePlus7Pro, android.OnePlus8Pro, android.OnePlus9} {
+		cfg := DefaultConfig()
+		cfg.Device = dev
+		addCfg("gpu", dev.GPU.String(), cfg)
+	}
+	// (b) Screen resolutions on the OnePlus 8 Pro.
+	for _, r := range []geom.Size{android.FHDPlus, android.QHDPlus} {
+		cfg := DefaultConfig()
+		cfg.Resolution = r
+		addCfg("resolution", r.String(), cfg)
+	}
+	// (c) Different phones sharing a GPU.
+	for _, dev := range []android.DeviceModel{android.LGV30, android.Pixel2, android.OnePlus9, android.GalaxyS21} {
+		cfg := DefaultConfig()
+		cfg.Device = dev
+		addCfg("model", dev.Name, cfg)
+	}
+	// (d) Android versions on the same hardware.
+	for _, v := range []int{9, 10, 11} {
+		cfg := DefaultConfig()
+		cfg.Device = cfg.Device.WithAndroidVersion(v)
+		addCfg("android", fmt.Sprintf("Android %d", v), cfg)
+	}
+
+	batches, err := parallel.Map(o.Workers, len(cfgs), func(i int) (*BatchResult, error) {
+		cfg := cfgs[i].cfg
+		m, err := TrainModelWorkers(cfg, o.Workers)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		seed += 60013
+		seed := o.Seed + 60013*int64(i+1)
 		// §7.4's recommendation: poll at no more than half the refresh
 		// interval — 4 ms on 120 Hz panels.
 		interval := attack.DefaultInterval
@@ -121,51 +179,20 @@ func RunFig24(o Options) (*Result, error) {
 		if hz > 60 {
 			interval = 4 * sim.Millisecond
 		}
-		b, err := RunBatch(cfg, m, LowerDigits, 10, per,
+		return RunBatch(o, cfg, m, LowerDigits, 10, per,
 			input.Volunteers[int(seed)%5], input.SpeedAny, interval,
 			attack.OnlineOptions{}, seed)
-		if err != nil {
-			return err
-		}
-		ta, ca := b.TextAccuracy(), b.CharAccuracy()
-		res.Table.AddRow(sweep, label, stats.Pct(ta), stats.Pct(ca))
-		res.Metrics[sweep+"/"+label+"/text"] = ta
-		res.Metrics[sweep+"/"+label+"/char"] = ca
+	})
+	if err != nil {
+		return nil, err
+	}
+	var texts []float64
+	for i, sc := range cfgs {
+		ta, ca := batches[i].TextAccuracy(), batches[i].CharAccuracy()
+		res.Table.AddRow(sc.sweep, sc.label, stats.Pct(ta), stats.Pct(ca))
+		res.Metrics[sc.sweep+"/"+sc.label+"/text"] = ta
+		res.Metrics[sc.sweep+"/"+sc.label+"/char"] = ca
 		texts = append(texts, ta)
-		return nil
-	}
-
-	// (a) GPU models.
-	for _, dev := range []android.DeviceModel{android.LGV30, android.OnePlus7Pro, android.OnePlus8Pro, android.OnePlus9} {
-		cfg := DefaultConfig()
-		cfg.Device = dev
-		if err := eval("gpu", dev.GPU.String(), cfg); err != nil {
-			return nil, err
-		}
-	}
-	// (b) Screen resolutions on the OnePlus 8 Pro.
-	for _, r := range []geom.Size{android.FHDPlus, android.QHDPlus} {
-		cfg := DefaultConfig()
-		cfg.Resolution = r
-		if err := eval("resolution", r.String(), cfg); err != nil {
-			return nil, err
-		}
-	}
-	// (c) Different phones sharing a GPU.
-	for _, dev := range []android.DeviceModel{android.LGV30, android.Pixel2, android.OnePlus9, android.GalaxyS21} {
-		cfg := DefaultConfig()
-		cfg.Device = dev
-		if err := eval("model", dev.Name, cfg); err != nil {
-			return nil, err
-		}
-	}
-	// (d) Android versions on the same hardware.
-	for _, v := range []int{9, 10, 11} {
-		cfg := DefaultConfig()
-		cfg.Device = cfg.Device.WithAndroidVersion(v)
-		if err := eval("android", fmt.Sprintf("Android %d", v), cfg); err != nil {
-			return nil, err
-		}
 	}
 
 	res.Metrics["min_text_acc"] = stats.Percentile(texts, 0)

@@ -85,7 +85,7 @@ func RunFig29(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	bb, err := RunBatch(base, mBase, LowerDigits, 10, per, input.Volunteers[0],
+	bb, err := RunBatch(o, base, mBase, LowerDigits, 10, per, input.Volunteers[0],
 		input.SpeedAny, attack.DefaultInterval, attack.OnlineOptions{}, o.Seed+291)
 	if err != nil {
 		return nil, err
@@ -102,7 +102,7 @@ func RunFig29(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pb, err := RunBatch(pnc, mPNC, LowerDigits, 10, per, input.Volunteers[1],
+	pb, err := RunBatch(o, pnc, mPNC, LowerDigits, 10, per, input.Volunteers[1],
 		input.SpeedAny, attack.DefaultInterval, attack.OnlineOptions{}, o.Seed+292)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentExperimentRuns hammers the worker pool from above: whole
+// experiments run concurrently (as cmd/benchpaper does), each fanning its
+// own trials and trainings out, all sharing the singleflight model cache.
+// Under -race this exercises the pool, the shared render cache and the
+// model cache; the metric maps must match a serial reference exactly,
+// since determinism is independent of scheduling and worker count.
+func TestConcurrentExperimentRuns(t *testing.T) {
+	runs := []struct {
+		name string
+		run  func(Options) (*Result, error)
+	}{
+		{"fig21", RunFig21},
+		{"fig22", RunFig22},
+	}
+	refs := make([]map[string]float64, len(runs))
+	for i, r := range runs {
+		res, err := r.run(Options{Quick: true, Seed: 777, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s reference: %v", r.name, err)
+		}
+		refs[i] = res.Metrics
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g % len(runs)
+			res, err := runs[i].run(Options{Quick: true, Seed: 777, Workers: g%3 + 1})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(res.Metrics, refs[i]) {
+				t.Errorf("concurrent %s (goroutine %d) metrics diverge from serial reference",
+					runs[i].name, g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"gpuleak/internal/android"
 	"gpuleak/internal/attack"
 	"gpuleak/internal/input"
+	"gpuleak/internal/parallel"
 	"gpuleak/internal/stats"
 )
 
@@ -19,30 +20,38 @@ func RunTransfer(o Options) (*Result, error) {
 	devices := []android.DeviceModel{android.Pixel2, android.OnePlus8Pro, android.OnePlus9}
 	per := o.Trials(60)
 
-	models := make([]*attack.Model, len(devices))
-	for i, dev := range devices {
+	models, err := parallel.Map(o.Workers, len(devices), func(i int) (*attack.Model, error) {
 		cfg := DefaultConfig()
-		cfg.Device = dev
-		m, err := TrainModel(cfg)
+		cfg.Device = devices[i]
+		return TrainModelWorkers(cfg, o.Workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The full train × attack matrix is independent cell-wise.
+	n := len(devices)
+	accs, err := parallel.Map(o.Workers, n*n, func(i int) (float64, error) {
+		ti, ai := i/n, i%n
+		cfg := DefaultConfig()
+		cfg.Device = devices[ai]
+		b, err := RunBatch(o, cfg, models[ti], LowerDigits, 10, per,
+			input.Volunteers[(ti+ai)%5], input.SpeedAny, attack.DefaultInterval,
+			attack.OnlineOptions{}, o.Seed+int64(ti)*7753+int64(ai)*131)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		models[i] = m
+		return b.CharAccuracy(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	var diag, offdiag []float64
 	for ti, trainDev := range devices {
 		row := []string{trainDev.Name}
 		for ai, attackDev := range devices {
-			cfg := DefaultConfig()
-			cfg.Device = attackDev
-			b, err := RunBatch(cfg, models[ti], LowerDigits, 10, per,
-				input.Volunteers[(ti+ai)%5], input.SpeedAny, attack.DefaultInterval,
-				attack.OnlineOptions{}, o.Seed+int64(ti)*7753+int64(ai)*131)
-			if err != nil {
-				return nil, err
-			}
-			ca := b.CharAccuracy()
+			ca := accs[ti*n+ai]
 			row = append(row, stats.Pct(ca))
 			res.Metrics[trainDev.Name+"->"+attackDev.Name] = ca
 			if ti == ai {

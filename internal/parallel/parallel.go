@@ -1,0 +1,91 @@
+// Package parallel is the repo's worker-pool execution engine. The
+// offline phase, the experiment layer and the benchmark harness all fan
+// embarrassingly parallel work — per-(key, repeat) trace collection,
+// independent device/noise/volunteer configurations, whole experiments —
+// through the same primitives.
+//
+// Determinism is the design constraint: every task is addressed by its
+// index, writes only its own result slot, and derives any randomness from
+// a seed that is a pure function of that index (sim.TaskSeed). Scheduling
+// order therefore never leaks into results, and a run with 8 workers is
+// byte-identical to a run with 1.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n > 0 selects exactly n workers,
+// n <= 0 selects one worker per available CPU.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (0 = one per CPU) and blocks until all tasks finish. Tasks are handed
+// out in index order but may complete in any order; fn must confine its
+// writes to per-index state. All tasks run even when one fails, and the
+// error of the lowest-indexed failing task is returned, so the outcome —
+// results and error alike — is independent of scheduling.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in index order. On failure it returns the error of
+// the lowest-indexed failing task (see ForEach).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

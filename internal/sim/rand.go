@@ -120,3 +120,16 @@ func Pick[T any](r *Rand, xs []T) T {
 func (r *Rand) Split() *Rand {
 	return NewRand(int64(r.Uint64()))
 }
+
+// TaskSeed derives the seed of parallel task number task from a base
+// seed. It is a pure function of (seed, task) — never of scheduling — so
+// a worker pool that seeds each task this way produces results that are
+// byte-identical at any worker count. The mix is one splitmix64 round
+// over the base seed offset by the task's golden-ratio stride, giving
+// well-separated streams even for adjacent task indices.
+func TaskSeed(seed int64, task int) int64 {
+	z := uint64(seed) + uint64(task+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

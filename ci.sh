@@ -9,6 +9,9 @@
 #   4. gpuvet     — the repo's own invariants (see README "Static
 #                   analysis & CI"); production packages only
 #   5. go test    — full test suite under the race detector
+#   6. telemetry  — seeded attackd run with -telemetry; the stream must
+#                   parse and be non-empty (traceview validates), and it
+#                   must convert to a Chrome trace file
 #
 # Run from the repo root: ./ci.sh
 #
@@ -61,5 +64,17 @@ else
     # shellcheck disable=SC2086
     go test -race ${GOTESTFLAGS:-} ./...
 fi
+
+echo "==> telemetry smoke"
+# A seeded end-to-end run must emit a parseable, non-empty telemetry
+# stream; traceview exits non-zero on an empty or malformed file, and the
+# conversion exercises the Perfetto exporter.
+telemetry_dir=$(mktemp -d)
+trap 'rm -rf "$telemetry_dir"' EXIT
+go run ./cmd/attackd -seed 7 -text hunter2 \
+    -telemetry "$telemetry_dir/telemetry.jsonl" >/dev/null 2>&1
+go run ./cmd/traceview -telemetry "$telemetry_dir/telemetry.jsonl" \
+    -telemetry-chrome "$telemetry_dir/telemetry.trace.json"
+test -s "$telemetry_dir/telemetry.trace.json"
 
 echo "CI: all gates passed"

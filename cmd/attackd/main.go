@@ -15,6 +15,7 @@ import (
 	"gpuleak/internal/attack"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/stats"
 	"gpuleak/internal/victim"
@@ -34,7 +35,15 @@ func main() {
 	practical := flag.Bool("practical", false, "inject corrections/app switches (§8 behavior)")
 	traceOut := flag.String("trace", "", "write the raw counter trace as CSV")
 	monitor := flag.Bool("monitor", false, "start with the Figure-4 monitoring service: the victim uses another app first, the attack waits for the target launch")
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProfiles, err := obsFlags.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracer := obsFlags.Tracer()
 
 	dev, ok := android.DeviceByName(*device)
 	if !ok {
@@ -76,7 +85,7 @@ func main() {
 		train := cfg
 		train.RenderJitter = 0
 		var err error
-		m, err = attack.Collect(train, attack.CollectOptions{Repeats: 2})
+		m, err = attack.Collect(train, attack.CollectOptions{Repeats: 2, Obs: tracer})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -98,11 +107,13 @@ func main() {
 		dev.Name, target.Name, script.PressCount(), vol.Name)
 
 	// Online phase.
+	sess.Device.SetMetrics(tracer.Metrics())
 	f, err := sess.Open()
 	if err != nil {
 		log.Fatalf("opening /dev/kgsl-3d0: %v", err)
 	}
 	atk := attack.New(m)
+	atk.Obs = tracer
 	var res *attack.Result
 	if *monitor {
 		mr, err := atk.MonitorAndEavesdrop(f, 0, sess.End, attack.MonitorOptions{})
@@ -121,6 +132,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		smp.Obs = tracer
 		tr, err := smp.Collect(0, sess.End)
 		if err != nil {
 			log.Fatal(err)
@@ -132,7 +144,9 @@ func main() {
 		if err := tr.WriteCSV(out); err != nil {
 			log.Fatal(err)
 		}
-		out.Close()
+		if err := out.Close(); err != nil {
+			log.Fatalf("writing %s: %v", *traceOut, err)
+		}
 		log.Printf("wrote counter trace to %s (%d samples)", *traceOut, tr.Len())
 		res, err = atk.EavesdropTrace(tr)
 		if err != nil {
@@ -153,4 +167,15 @@ func main() {
 	fmt.Printf("  edit distance: %d\n", stats.Levenshtein(res.Text, truth))
 	fmt.Printf("  engine stats : %+v\n", res.Stats)
 	fmt.Printf("  ioctl calls  : %d\n", sess.Device.IoctlCount())
+
+	if tracer != nil {
+		if err := obsFlags.Write(tracer); err != nil {
+			log.Fatalf("writing telemetry: %v", err)
+		}
+		log.Printf("wrote telemetry to %s (%d events, %s)",
+			obsFlags.Path, tracer.Len(), obsFlags.Format)
+	}
+	if err := stopProfiles(); err != nil {
+		log.Fatalf("writing profiles: %v", err)
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"gpuleak/internal/exp"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/parallel"
 )
 
@@ -41,6 +42,9 @@ type report struct {
 	Speedup     float64            `json:"speedup_vs_baseline,omitempty"`
 	Failures    int                `json:"failures"`
 	Experiments []experimentReport `json:"experiments"`
+	// Telemetry is the metrics-registry snapshot of the run (engine.*,
+	// parallel.*, kgsl.*, sampler.*), present when -telemetry is given.
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 }
 
 type experimentReport struct {
@@ -64,7 +68,18 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (1 = serial, 0 = one per CPU); results are identical at any value")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout instead of tables")
 	baseline := flag.String("baseline", "", "previous -json report to compute speedup_vs_baseline against")
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProfiles, err := obsFlags.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracer := obsFlags.Tracer()
+	if tracer != nil {
+		parallel.ObserveWith(tracer.Metrics())
+	}
 
 	if *listOnly {
 		for _, e := range exp.All {
@@ -87,12 +102,26 @@ func main() {
 	// pool on top of each experiment's internal parallelism; results are
 	// collected into index-addressed slots and printed in registry order,
 	// so the output is identical at any worker count.
+	// Per-experiment telemetry tracks are created in registry order before
+	// the fan-out so the merged stream is scheduling-independent.
+	var expTracers []*obs.Tracer
+	if tracer != nil {
+		expTracers = make([]*obs.Tracer, len(todo))
+		for i := range expTracers {
+			expTracers[i] = tracer.Child("exp/" + todo[i].ID)
+		}
+	}
+
 	wallStart := time.Now()
 	results := make([]*exp.Result, len(todo))
 	reports := make([]experimentReport, len(todo))
 	parallel.ForEach(*workers, len(todo), func(i int) error {
 		start := time.Now()
-		r, err := todo[i].Run(opts)
+		o := opts
+		if expTracers != nil {
+			o.Obs = expTracers[i]
+		}
+		r, err := todo[i].Run(o)
 		reports[i] = experimentReport{ID: todo[i].ID, Paper: todo[i].Paper, Seconds: time.Since(start).Seconds()}
 		if err != nil {
 			reports[i].Error = err.Error()
@@ -125,6 +154,7 @@ func main() {
 			WallSeconds: wall,
 			Failures:    failures,
 			Experiments: reports,
+			Telemetry:   tracer.Metrics().Snapshot(),
 		}
 		if *baseline != "" {
 			if prev, err := readBaseline(*baseline); err != nil {
@@ -138,6 +168,7 @@ func main() {
 		if err := enc.Encode(rep); err != nil {
 			log.Fatal(err)
 		}
+		finish(&obsFlags, tracer, stopProfiles, *jsonOut)
 		if failures > 0 {
 			os.Exit(1)
 		}
@@ -167,8 +198,24 @@ func main() {
 			}
 		}
 	}
+	finish(&obsFlags, tracer, stopProfiles, *jsonOut)
 	if failures > 0 {
 		os.Exit(1)
+	}
+}
+
+// finish writes the telemetry stream and profile dumps before exit.
+func finish(fl *obs.Flags, tracer *obs.Tracer, stopProfiles func() error, quiet bool) {
+	if tracer != nil {
+		if err := fl.Write(tracer); err != nil {
+			log.Fatalf("writing telemetry: %v", err)
+		}
+		if !quiet {
+			log.Printf("wrote telemetry to %s (%d events)", fl.Path, tracer.Len())
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		log.Fatalf("writing profiles: %v", err)
 	}
 }
 

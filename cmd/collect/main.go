@@ -15,6 +15,7 @@ import (
 	"gpuleak/internal/android"
 	"gpuleak/internal/attack"
 	"gpuleak/internal/keyboard"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/parallel"
 	"gpuleak/internal/victim"
 )
@@ -48,7 +49,18 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable training report on stdout")
 	out := flag.String("o", "", "output file (default: model-<device>-<keyboard>.json)")
 	bundleAll := flag.Bool("bundle", false, "train every known device at this keyboard/app and write one bundle")
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProfiles, err := obsFlags.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracer := obsFlags.Tracer()
+	if tracer != nil {
+		parallel.ObserveWith(tracer.Metrics())
+	}
 
 	layout := keyboard.ByName(*kb)
 	if layout == nil {
@@ -60,8 +72,33 @@ func main() {
 	}
 	copts := attack.CollectOptions{Repeats: *repeats, Workers: *workers}
 
+	// finish writes the telemetry stream and profile dumps; both exit
+	// paths call it after their model files are safely on disk.
+	finish := func() {
+		if tracer != nil {
+			if err := obsFlags.Write(tracer); err != nil {
+				log.Fatalf("writing telemetry: %v", err)
+			}
+			if !*jsonOut {
+				log.Printf("wrote telemetry to %s (%d events)", obsFlags.Path, tracer.Len())
+			}
+		}
+		if err := stopProfiles(); err != nil {
+			log.Fatalf("writing profiles: %v", err)
+		}
+	}
+
 	if *bundleAll {
 		start := time.Now()
+		// Per-device telemetry tracks are created in index order before
+		// the fan-out so the merged stream is scheduling-independent.
+		var devTracers []*obs.Tracer
+		if tracer != nil {
+			devTracers = make([]*obs.Tracer, len(android.Devices))
+			for i := range devTracers {
+				devTracers[i] = tracer.Child(fmt.Sprintf("device/%02d", i))
+			}
+		}
 		// Per-device trainings are independent; they share the worker
 		// budget with each training's internal per-key fan-out.
 		models, err := parallel.Map(*workers, len(android.Devices), func(i int) (*attack.Model, error) {
@@ -70,7 +107,11 @@ func main() {
 			if !*jsonOut {
 				log.Printf("training %s ...", d.Name)
 			}
-			m, err := attack.Collect(cfg, copts)
+			co := copts
+			if devTracers != nil {
+				co.Obs = devTracers[i]
+			}
+			m, err := attack.Collect(cfg, co)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", d.Name, err)
 			}
@@ -87,11 +128,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		if err := attack.WriteBundle(f, models); err != nil {
 			log.Fatalf("writing bundle: %v", err)
 		}
 		st, _ := f.Stat()
+		if err := f.Close(); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
 		if *jsonOut {
 			keys, noise := 0, 0
 			for _, m := range models {
@@ -107,6 +150,7 @@ func main() {
 		} else {
 			log.Printf("wrote %s (%d models, %d bytes)", path, len(models), st.Size())
 		}
+		finish()
 		return
 	}
 
@@ -120,6 +164,7 @@ func main() {
 		log.Printf("emulating all key presses on %s / %s / %s ...", dev.Name, layout.Name, target.Name)
 	}
 	start := time.Now()
+	copts.Obs = tracer
 	m, err := attack.Collect(cfg, copts)
 	if err != nil {
 		log.Fatalf("offline phase failed: %v", err)
@@ -138,11 +183,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	if err := m.WriteJSON(f); err != nil {
 		log.Fatalf("writing model: %v", err)
 	}
 	st, _ := f.Stat()
+	if err := f.Close(); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
 	if *jsonOut {
 		emitReport(trainReport{
 			Schema: "gpuleak-collect/v1", Device: dev.Name, Keyboard: layout.Name,
@@ -153,6 +200,7 @@ func main() {
 	} else {
 		log.Printf("wrote %s (%d bytes)", path, st.Size())
 	}
+	finish()
 }
 
 func emitReport(r trainReport) {

@@ -3,6 +3,12 @@
 // classifier model, prints the timeline of counter changes with their
 // classifications, and reports what an attacker holding that model could
 // have recovered. Use it to inspect what a given UI interaction leaks.
+//
+// It also understands the telemetry streams written by attackd/collect/
+// benchpaper -telemetry: pass -telemetry to overlay recorded engine
+// verdicts on the delta listing (or, without -trace, to print a stream
+// summary), and -telemetry-chrome to convert a JSONL stream into a
+// Perfetto-loadable Chrome trace file.
 package main
 
 import (
@@ -10,8 +16,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"gpuleak/internal/attack"
+	"gpuleak/internal/obs"
+	"gpuleak/internal/sim"
 
 	"gpuleak/internal/trace"
 )
@@ -20,13 +29,48 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("traceview: ")
 
-	tracePath := flag.String("trace", "", "counter trace CSV (required)")
+	tracePath := flag.String("trace", "", "counter trace CSV")
 	modelPath := flag.String("model", "", "classifier model JSON (optional: adds classifications)")
 	deltasOnly := flag.Bool("deltas", false, "print only changes, not every sample")
 	offline := flag.Bool("offline", false, "use whole-trace segmentation instead of the streaming engine")
+	telemetryPath := flag.String("telemetry", "", "telemetry JSONL stream (overlays recorded verdicts; without -trace, prints a summary)")
+	telemetryChrome := flag.String("telemetry-chrome", "", "also convert the telemetry stream to a Chrome trace file at this path")
 	flag.Parse()
 
+	var telem []obs.Event
+	if *telemetryPath != "" {
+		tf, err := os.Open(*telemetryPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		telem, err = obs.ReadJSONL(tf)
+		tf.Close()
+		if err != nil {
+			log.Fatalf("reading telemetry %s: %v", *telemetryPath, err)
+		}
+		if len(telem) == 0 {
+			log.Fatalf("telemetry %s is empty", *telemetryPath)
+		}
+		if *telemetryChrome != "" {
+			cf, err := os.Create(*telemetryChrome)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := obs.WriteChromeTrace(cf, telem); err != nil {
+				log.Fatal(err)
+			}
+			if err := cf.Close(); err != nil {
+				log.Fatalf("writing %s: %v", *telemetryChrome, err)
+			}
+			fmt.Printf("wrote Chrome trace to %s\n", *telemetryChrome)
+		}
+	}
+
 	if *tracePath == "" {
+		if telem != nil {
+			summarizeTelemetry(telem)
+			return
+		}
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -59,6 +103,25 @@ func main() {
 		fmt.Printf("model: %s (%d keys, %d noise signatures)\n", m.Key, len(m.Keys), len(m.Noise))
 	}
 
+	// Recorded engine verdicts, indexed by timestamp, overlay the listing:
+	// what the attack decided live, next to what this model says now.
+	verdicts := map[sim.Time]string{}
+	for _, e := range telem {
+		if e.Name != "engine.verdict" {
+			continue
+		}
+		s := ""
+		for _, f := range e.Fields {
+			switch f.Key {
+			case "disp":
+				s = f.Str + s
+			case "rune":
+				s += fmt.Sprintf(" %q", f.Str)
+			}
+		}
+		verdicts[e.At] = s
+	}
+
 	ds := tr.Deltas()
 	fmt.Printf("changes: %d\n\n", len(ds))
 	if !*deltasOnly {
@@ -77,6 +140,9 @@ func main() {
 			default:
 				label = "unknown"
 			}
+		}
+		if rec, ok := verdicts[d.At]; ok {
+			label += fmt.Sprintf("  [recorded: %s]", rec)
 		}
 		fmt.Printf("%-10v  %9.0f  %9.0f  %s\n", d.At, d.V[0], d.V[3], label)
 	}
@@ -98,5 +164,29 @@ func main() {
 	fmt.Printf("\nrecoverable credential: %q (%d keys)\n", res.Text, len(res.Keys))
 	if res.EstimatedLength >= 0 {
 		fmt.Printf("input length from echo redraws: %d\n", res.EstimatedLength)
+	}
+}
+
+// summarizeTelemetry prints the stream's shape: span, tracks, and
+// per-event-name counts in name order.
+func summarizeTelemetry(evs []obs.Event) {
+	var span sim.Time
+	tracks := map[string]bool{}
+	counts := map[string]int{}
+	for _, e := range evs {
+		if end := e.At + e.Dur; end > span {
+			span = end
+		}
+		tracks[e.Track] = true
+		counts[string(e.Name)]++
+	}
+	fmt.Printf("telemetry: %d events, %d tracks, %v span\n\n", len(evs), len(tracks), span)
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-28s %6d\n", n, counts[n])
 	}
 }

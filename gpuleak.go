@@ -33,6 +33,7 @@
 package gpuleak
 
 import (
+	"io"
 	"strings"
 
 	"gpuleak/internal/android"
@@ -42,6 +43,7 @@ import (
 	"gpuleak/internal/keyboard"
 	"gpuleak/internal/kgsl"
 	"gpuleak/internal/mitigate"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/victim"
 )
@@ -83,6 +85,11 @@ type (
 	KGSLFile = kgsl.File
 	// Time is a simulated timestamp in microseconds.
 	Time = sim.Time
+	// Tracer records the deterministic sim-time telemetry stream; attach
+	// one via Attack.Obs or CollectOptions.Obs.
+	Tracer = obs.Tracer
+	// TelemetryEvent is one recorded telemetry event.
+	TelemetryEvent = obs.Event
 )
 
 // Devices from the paper's evaluation.
@@ -137,6 +144,22 @@ func TrainWith(cfg VictimConfig, opts CollectOptions) (*Model, error) {
 
 // NewAttack builds an attacking application from preloaded models.
 func NewAttack(models ...*Model) *Attack { return attack.New(models...) }
+
+// NewTracer creates a telemetry tracer. Wire it into Attack.Obs (online
+// phase) or CollectOptions.Obs (offline phase), then export the merged
+// stream with WriteTelemetry.
+func NewTracer() *Tracer { return obs.New() }
+
+// WriteTelemetry exports a tracer's event stream as deterministic JSONL.
+func WriteTelemetry(w io.Writer, tr *Tracer) error {
+	return obs.WriteJSONL(w, tr.Events())
+}
+
+// WriteTelemetryChrome exports a tracer's event stream as a Chrome
+// trace-event file loadable in Perfetto / chrome://tracing.
+func WriteTelemetryChrome(w io.Writer, tr *Tracer) error {
+	return obs.WriteChromeTrace(w, tr.Events())
+}
 
 // TypeText builds a plain typing script using the first volunteer's
 // timing, starting 0.7 s after app launch.

@@ -9,6 +9,8 @@
 //	floateq      - no ==/!= on floats in classifier distance math
 //	lockcheck    - mutex-guarded struct fields accessed without locking
 //	ioctlsize    - iowr(nr, size) sizes must match the marshalled structs
+//	obsevent     - obs event names must be package-level registrations;
+//	               Emit/Start timestamps must never derive from the wall clock
 //
 // A finding can be suppressed with a trailing or preceding comment of the
 // form
@@ -141,7 +143,7 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) map[string]map[int
 
 // DefaultAnalyzers returns every check in its canonical order.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{SimTime, CounterGroup, FloatEq, LockCheck, IoctlSize}
+	return []*Analyzer{SimTime, CounterGroup, FloatEq, LockCheck, IoctlSize, ObsEvent}
 }
 
 // Run applies the analyzers to the packages and returns the findings in

@@ -118,6 +118,23 @@ func TestLockCheckFixtures(t *testing.T) {
 	checkFixture(t, LockCheck, "lockcheck/good", "gpuleak/internal/lckgood")
 }
 
+func TestObsEventFixtures(t *testing.T) {
+	checkFixture(t, ObsEvent, "obsevent/bad", "gpuleak/internal/oebad")
+	checkFixture(t, ObsEvent, "obsevent/good", "gpuleak/internal/oegood")
+}
+
+func TestObsEventScope(t *testing.T) {
+	if ObsEvent.Applies("gpuleak/internal/obs") {
+		t.Error("obsevent must not apply to the obs package itself (stream parsing converts names)")
+	}
+	if !ObsEvent.Applies("gpuleak/internal/attack") {
+		t.Error("obsevent must apply to instrumented internal/ packages")
+	}
+	if ObsEvent.Applies("gpuleak/cmd/attackd") {
+		t.Error("obsevent is scoped to internal/ like the other simulation invariants")
+	}
+}
+
 func TestIoctlSizeFixtures(t *testing.T) {
 	checkFixture(t, IoctlSize, "ioctlsize/bad", "gpuleak/internal/szbad")
 	checkFixture(t, IoctlSize, "ioctlsize/good", "gpuleak/internal/szgood")

@@ -1,0 +1,32 @@
+// Package oebad seeds obsevent violations: unregistered names, lazy
+// registrations, inline name expressions, and wall-clock timestamps.
+// Lines marked WANT must be reported.
+package oebad
+
+import (
+	"time"
+
+	"gpuleak/internal/obs"
+	"gpuleak/internal/sim"
+)
+
+var evOK = obs.NewName("oebad.ok")
+
+// Convert mints a name without registering it.
+func Convert(tr *obs.Tracer, at sim.Time) {
+	tr.Emit(at, obs.Name("oebad.raw")) // WANT
+}
+
+// Lazy registers a name on first call, so the vocabulary depends on the
+// execution path.
+func Lazy(tr *obs.Tracer, at sim.Time) {
+	ev := obs.NewName("oebad.lazy") // WANT
+	tr.Emit(at, ev)                 // WANT
+}
+
+// WallClock smuggles a wall-clock duration into the timestamp.
+func WallClock(tr *obs.Tracer, d time.Duration) {
+	tr.Emit(sim.Time(d.Microseconds()), evOK) // WANT
+	sp := tr.Start(sim.Time(d), evOK)         // WANT
+	sp.End(0)
+}

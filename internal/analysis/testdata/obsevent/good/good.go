@@ -1,0 +1,32 @@
+// Package oegood shows the compliant telemetry idiom: names registered in
+// a package-level var block, timestamps flowing through sim.Time only.
+// No line may be reported.
+package oegood
+
+import (
+	"gpuleak/internal/obs"
+	"gpuleak/internal/sim"
+)
+
+// All event names this package can emit, registered once at init.
+var (
+	evTick = obs.NewName("oegood.tick")
+	evSpan = obs.NewName("oegood.span")
+)
+
+// Tick emits with a registered name and a sim-time stamp.
+func Tick(tr *obs.Tracer, at sim.Time) {
+	tr.Emit(at, evTick, obs.Int("n", 1))
+}
+
+// Span derives its timestamps from sim.Time arithmetic — conversions of
+// sim-domain integers are fine.
+func Span(tr *obs.Tracer, at sim.Time, n int) {
+	sp := tr.Start(at, evSpan)
+	sp.End(at + sim.Time(n)*sim.Millisecond)
+}
+
+// Suppressed carries a justified waiver.
+func Suppressed(tr *obs.Tracer, at sim.Time) {
+	tr.Emit(at, obs.Name("oegood.raw")) //gpuvet:ignore obsevent -- replaying a parsed stream
+}

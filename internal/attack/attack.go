@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"gpuleak/internal/kgsl"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
 )
@@ -34,6 +35,9 @@ type Attack struct {
 	Interval sim.Time
 	// Options tune the online engine.
 	Options OnlineOptions
+	// Obs, when non-nil, receives sampler spans, per-delta verdict events
+	// and monitor events from every run driven through this Attack.
+	Obs *obs.Tracer
 }
 
 // New builds an attack from preloaded models.
@@ -95,7 +99,9 @@ func (a *Attack) EavesdropTrace(tr *trace.Trace) (*Result, error) {
 		return nil, err
 	}
 	eng := NewEngine(m, tr.Interval, a.Options)
+	eng.SetObs(a.Obs)
 	eng.ProcessAll(ds)
+	RecordEngineStats(a.Obs.Metrics(), eng.Stats())
 	return &Result{
 		Model:           m.Key,
 		Keys:            eng.Keys(),
@@ -113,6 +119,7 @@ func (a *Attack) Eavesdrop(f *kgsl.File, start, end sim.Time) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.Obs = a.Obs
 	tr, err := s.Collect(start, end)
 	if err != nil {
 		return nil, err

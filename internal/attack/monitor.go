@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"gpuleak/internal/kgsl"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
 )
@@ -67,7 +68,10 @@ func (a *Attack) MonitorAndEavesdrop(f *kgsl.File, start, end sim.Time, opts Mon
 	if err != nil {
 		return nil, err
 	}
+	s.Obs = a.Obs
 
+	idle := a.Obs.Start(start, evIdleWait,
+		obs.Int("idle_interval_us", int(opts.IdleInterval)))
 	out := &MonitorResult{}
 	prev, err := f.ReadSelected(start)
 	if err != nil {
@@ -127,8 +131,15 @@ func (a *Attack) MonitorAndEavesdrop(f *kgsl.File, start, end sim.Time, opts Mon
 			break
 		}
 	}
+	idle.AddField(obs.Int("idle_reads", out.IdleReads))
+	a.Obs.Metrics().Add("monitor.idle_reads", int64(out.IdleReads))
 	if detected == nil {
+		idle.End(end)
 		return out, nil
+	}
+	idle.End(detectedAt)
+	if a.Obs != nil {
+		a.Obs.Emit(detectedAt, evLaunchDetected, obs.Str("model", detected.Key.String()))
 	}
 	out.Detected = true
 	out.LaunchDetectedAt = detectedAt
@@ -140,7 +151,9 @@ func (a *Attack) MonitorAndEavesdrop(f *kgsl.File, start, end sim.Time, opts Mon
 		return nil, err
 	}
 	eng := NewEngine(detected, interval, a.Options)
+	eng.SetObs(a.Obs)
 	eng.ProcessAll(tr.Deltas())
+	RecordEngineStats(a.Obs.Metrics(), eng.Stats())
 	out.Result = &Result{
 		Model:           detected.Key,
 		Keys:            eng.Keys(),

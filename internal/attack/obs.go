@@ -1,0 +1,88 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"gpuleak/internal/obs"
+	"gpuleak/internal/trace"
+)
+
+// Telemetry event vocabulary of the attack pipeline. Names are registered
+// once at package level (the gpuvet obsevent analyzer enforces this), so
+// the full schema of a telemetry stream is auditable from this block.
+var (
+	// evSamplerCollect spans one polling loop; fields: interval_us, samples.
+	evSamplerCollect = obs.NewName("sampler.collect")
+	// evSamplerReadError marks a failed counter read; field: err.
+	evSamplerReadError = obs.NewName("sampler.read_error")
+	// evVerdict is one Algorithm-1 decision per processed delta; fields:
+	// disp (key/duplicate/split_key/split_noise/noise/pending/accumulate/
+	// suppressed/switch_burst), delta, and for keys rune/dist/margin.
+	evVerdict = obs.NewName("engine.verdict")
+	// evAppSwitch marks a §5.2 suppression transition; fields: phase
+	// (burst|resume), retracted (burst only).
+	evAppSwitch = obs.NewName("engine.app_switch")
+	// evCorrection marks a §5.3 retraction of the last inferred key.
+	evCorrection = obs.NewName("engine.correction")
+	// evIdleWait spans the monitor's low-duty wait; field: idle_reads.
+	evIdleWait = obs.NewName("monitor.idle_wait")
+	// evLaunchDetected marks a launch-fingerprint hit; field: model.
+	evLaunchDetected = obs.NewName("monitor.launch_detected")
+	// evOfflineTask spans one offline collection task; fields: kind
+	// (sweep|key), and for key tasks rune/repeat.
+	evOfflineTask = obs.NewName("offline.task")
+)
+
+// round6 rounds to 6 decimal places. Distances and margins in the event
+// stream are rounded so the golden-file determinism test is insensitive
+// to sub-ulp floating-point variation across architectures.
+func round6(x float64) float64 {
+	return math.Round(x*1e6) / 1e6
+}
+
+// deltaField renders the 11-dimensional counter delta as one attribute;
+// fmt's float formatting is deterministic, so the string is too.
+func deltaField(v trace.Vec) obs.Field {
+	return obs.Str("delta", fmt.Sprint(v))
+}
+
+// SetObs attaches a tracer to the engine; every subsequent Process call
+// emits one engine.verdict event. nil (the default) disables emission.
+func (e *Engine) SetObs(tr *obs.Tracer) { e.obs = tr }
+
+func (e *Engine) emitVerdict(d trace.Delta, v Verdict, disp string) {
+	if e.obs == nil {
+		return
+	}
+	fields := []obs.Field{obs.Str("disp", disp), deltaField(d.V)}
+	if v.IsKey {
+		fields = append(fields,
+			obs.Str("rune", string(v.R)),
+			obs.Num("dist", round6(v.Dist)),
+			obs.Num("margin", round6(v.AltDist-v.Dist)))
+	} else if v.IsNoise {
+		fields = append(fields, obs.Str("noise", string(v.Noise)))
+	}
+	e.obs.Emit(d.At, evVerdict, fields...)
+}
+
+// RecordEngineStats publishes an engine's bookkeeping counters into a
+// metrics registry under the engine.* namespace, so benchpaper -json can
+// embed them in its report.
+func RecordEngineStats(m *obs.Metrics, s EngineStats) {
+	if m == nil {
+		return
+	}
+	m.Add("engine.deltas", int64(s.Deltas))
+	m.Add("engine.keys", int64(s.Keys))
+	m.Add("engine.duplicates", int64(s.Duplicates))
+	m.Add("engine.splits", int64(s.Splits))
+	m.Add("engine.noise", int64(s.Noise))
+	m.Add("engine.noise_splits", int64(s.NoiseSplits))
+	m.Add("engine.recombined", int64(s.Recombined))
+	m.Add("engine.unknown", int64(s.Unknown))
+	m.Add("engine.corrections", int64(s.Corrections))
+	m.Add("engine.switches", int64(s.Switches))
+	m.Add("engine.residual", int64(s.Residual()))
+}

@@ -8,6 +8,7 @@ import (
 	"gpuleak/internal/android"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/parallel"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
@@ -26,6 +27,12 @@ type CollectOptions struct {
 	// derives its RNG seed from (Config.Seed, task index) alone, so the
 	// resulting model is byte-identical at any worker count.
 	Workers int
+	// Obs, when non-nil, records one offline.task span per collection
+	// task on a pre-created child track (offline/NNN) plus device ioctl
+	// metrics, without perturbing the model: children are created in
+	// index order before fan-out, so the exported stream is identical at
+	// any worker count.
+	Obs *obs.Tracer
 }
 
 func (o CollectOptions) withDefaults(vsync sim.Time) CollectOptions {
@@ -143,7 +150,7 @@ func labelWindows(sess *victim.Session, script input.Script, wlen sim.Time) []wi
 // (e.g. a popup-animation duplication) is discarded — it replays a
 // signature that is already labeled. Sampling stops shortly after the
 // last window since later deltas could not be labeled anyway.
-func sampleWindows(sess *victim.Session, interval sim.Time, wins []window) ([]trace.Vec, []bool, error) {
+func sampleWindows(sess *victim.Session, interval sim.Time, wins []window, obsTr *obs.Tracer) ([]trace.Vec, []bool, error) {
 	f, err := sess.Open()
 	if err != nil {
 		return nil, nil, fmt.Errorf("attack: offline phase: %w", err)
@@ -152,6 +159,7 @@ func sampleWindows(sess *victim.Session, interval sim.Time, wins []window) ([]tr
 	if err != nil {
 		return nil, nil, err
 	}
+	sampler.Obs = obsTr
 	end := sess.End
 	if len(wins) > 0 {
 		last := wins[0].to
@@ -207,7 +215,7 @@ type taskOut struct {
 // directions (the trailing press switches symbol→lower) and cursor
 // blinks. Its key windows are labeled so press deltas cannot pollute
 // adjacent noise windows, then discarded.
-func collectSweep(opts CollectOptions, sess *victim.Session, alphabet []rune, wlen sim.Time) (taskOut, error) {
+func collectSweep(opts CollectOptions, sess *victim.Session, alphabet []rune, wlen sim.Time, obsTr *obs.Tracer) (taskOut, error) {
 	var script input.Script
 	t := 600 * sim.Millisecond
 	press := func(r rune) {
@@ -222,11 +230,15 @@ func collectSweep(opts CollectOptions, sess *victim.Session, alphabet []rune, wl
 	press(alphabet[0])
 	sess.Run(script)
 
+	sp := obsTr.Start(0, evOfflineTask,
+		obs.Str("kind", "sweep"), obs.Int("keys", len(alphabet)))
+	sess.Device.SetMetrics(obsTr.Metrics())
 	wins := labelWindows(sess, script, wlen)
-	sums, got, err := sampleWindows(sess, opts.Interval, wins)
+	sums, got, err := sampleWindows(sess, opts.Interval, wins, obsTr)
 	if err != nil {
 		return taskOut{}, err
 	}
+	sp.End(sess.End)
 	var out taskOut
 	for j, win := range wins {
 		if !got[j] {
@@ -255,7 +267,7 @@ func collectSweep(opts CollectOptions, sess *victim.Session, alphabet []rune, wl
 // single key with nothing else on screen, yielding one candidate centroid
 // for that key. Cursor blink is disabled — the sweep task learns blink
 // signatures — so the key window is as clean as the hardware allows.
-func collectKey(cfg victim.Config, opts CollectOptions, r rune, wlen sim.Time) (taskOut, error) {
+func collectKey(cfg victim.Config, opts CollectOptions, r rune, repeat int, wlen sim.Time, obsTr *obs.Tracer) (taskOut, error) {
 	cfg.DisableCursorBlink = true
 	sess := victim.New(cfg)
 	script := input.Script{Events: []input.Event{{
@@ -263,11 +275,15 @@ func collectKey(cfg victim.Config, opts CollectOptions, r rune, wlen sim.Time) (
 	}}}
 	sess.Run(script)
 
+	sp := obsTr.Start(0, evOfflineTask,
+		obs.Str("kind", "key"), obs.Str("rune", string(r)), obs.Int("repeat", repeat))
+	sess.Device.SetMetrics(obsTr.Metrics())
 	wins := labelWindows(sess, script, wlen)
-	sums, got, err := sampleWindows(sess, opts.Interval, wins)
+	sums, got, err := sampleWindows(sess, opts.Interval, wins, obsTr)
 	if err != nil {
 		return taskOut{}, err
 	}
+	sp.End(sess.End)
 	var out taskOut
 	for j, win := range wins {
 		if win.kind == lblKey && got[j] {
@@ -321,11 +337,29 @@ func Collect(cfg victim.Config, opts CollectOptions) (*Model, error) {
 
 	nKeys := len(alphabet)
 	nTasks := 1 + nKeys*opts.Repeats
+
+	// Per-task telemetry tracks are created here, in index order, by the
+	// coordinating goroutine — never inside the racing workers — so the
+	// merged event stream is independent of scheduling.
+	var children []*obs.Tracer
+	if opts.Obs != nil {
+		children = make([]*obs.Tracer, nTasks)
+		for i := range children {
+			children[i] = opts.Obs.Child(fmt.Sprintf("offline/%03d", i))
+		}
+	}
+	child := func(i int) *obs.Tracer {
+		if children == nil {
+			return nil
+		}
+		return children[i]
+	}
+
 	outs, err := parallel.Map(opts.Workers, nTasks, func(i int) (taskOut, error) {
 		if i == 0 {
-			return collectSweep(opts, sweepSess, alphabet, wlen)
+			return collectSweep(opts, sweepSess, alphabet, wlen, child(0))
 		}
-		return collectKey(taskCfg(i), opts, alphabet[(i-1)%nKeys], wlen)
+		return collectKey(taskCfg(i), opts, alphabet[(i-1)%nKeys], (i-1)/nKeys, wlen, child(i))
 	})
 	if err != nil {
 		return nil, err

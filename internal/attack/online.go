@@ -3,6 +3,7 @@ package attack
 import (
 	"math"
 
+	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
 )
@@ -89,6 +90,7 @@ type Engine struct {
 	model *Model
 	opts  OnlineOptions
 	stats EngineStats
+	obs   *obs.Tracer
 
 	keys      []InferredKey
 	lastKeyAt sim.Time
@@ -156,8 +158,12 @@ func (e *Engine) Process(d trace.Delta) {
 				e.stats.Switches++
 				e.runLen = 0
 				e.haveBig = false
+				if e.obs != nil {
+					e.obs.Emit(d.At, evAppSwitch, obs.Str("phase", "resume"))
+				}
 				// Fall through: this delta belongs to the target app.
 			} else {
+				e.emitVerdict(d, v, "suppressed")
 				return
 			}
 		} else if !v.IsKey && !v.IsNoise && d.V[3] >= e.bigPx {
@@ -176,10 +182,17 @@ func (e *Engine) Process(d trace.Delta) {
 				// Retract keys mistakenly inferred since the burst began —
 				// they were switch-animation frames, not typing.
 				cutoff := e.runStartAt - sim.Millisecond
+				retracted := 0
 				for len(e.keys) > 0 && e.keys[len(e.keys)-1].At >= cutoff {
 					e.keys = e.keys[:len(e.keys)-1]
 					e.stats.Keys--
+					retracted++
 				}
+				if e.obs != nil {
+					e.obs.Emit(d.At, evAppSwitch,
+						obs.Str("phase", "burst"), obs.Int("retracted", retracted))
+				}
+				e.emitVerdict(d, v, "switch_burst")
 				return
 			}
 		} else if v.IsKey || v.IsNoise {
@@ -194,6 +207,7 @@ func (e *Engine) Process(d trace.Delta) {
 	if !e.opts.DisableDedup && e.haveKey && d.At-e.lastKeyAt < e.opts.DedupWindow {
 		if v.IsKey {
 			e.stats.Duplicates++
+			e.emitVerdict(d, v, "duplicate")
 			return
 		}
 	}
@@ -203,10 +217,12 @@ func (e *Engine) Process(d trace.Delta) {
 	case v.IsKey:
 		e.inferKeyV(d.At, v)
 		e.pending = nil
+		e.emitVerdict(d, v, "key")
 	case v.IsNoise:
 		e.stats.Noise++
 		e.handleNoise(d, v)
 		e.pending = nil
+		e.emitVerdict(d, v, "noise")
 	default:
 		if !e.opts.DisableSplitCombine && e.pending != nil &&
 			d.At-e.pendingLast <= e.opts.SplitWindow && e.pendingChain < 8 {
@@ -221,8 +237,10 @@ func (e *Engine) Process(d trace.Delta) {
 				if !(e.haveKey && e.pending.At-e.lastKeyAt < e.opts.DedupWindow) || e.opts.DisableDedup {
 					e.stats.Splits++
 					e.inferKeyV(e.pending.At, cv)
+					e.emitVerdict(d, cv, "split_key")
 				} else {
 					e.stats.Duplicates++
+					e.emitVerdict(d, cv, "duplicate")
 				}
 				e.pending = nil
 				return
@@ -234,6 +252,7 @@ func (e *Engine) Process(d trace.Delta) {
 				e.stats.NoiseSplits++
 				e.handleNoise(trace.Delta{At: e.pending.At, V: combined}, cv)
 				e.pending = nil
+				e.emitVerdict(d, cv, "split_noise")
 				return
 			}
 			// Keep accumulating: frames stretched by GPU contention can
@@ -242,6 +261,7 @@ func (e *Engine) Process(d trace.Delta) {
 			e.pending = &trace.Delta{At: e.pending.At, V: combined}
 			e.pendingLast = d.At
 			e.pendingChain++
+			e.emitVerdict(d, cv, "accumulate")
 			return
 		}
 		e.stats.Unknown++
@@ -249,6 +269,7 @@ func (e *Engine) Process(d trace.Delta) {
 		e.pending = &cp
 		e.pendingLast = d.At
 		e.pendingChain = 0
+		e.emitVerdict(d, v, "pending")
 	}
 }
 
@@ -276,11 +297,16 @@ func (e *Engine) handleNoise(d trace.Delta, v Verdict) {
 	prims := d.V[0] // PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ is index 0
 	minusTwo := e.haveEchoPrims && math.Abs(prims-e.echoPrims+2) < 0.5
 	if lone && minusTwo {
+		retracted := ""
 		if len(e.keys) > 0 {
+			retracted = string(e.keys[len(e.keys)-1].R)
 			e.keys = e.keys[:len(e.keys)-1]
 			e.stats.Keys--
 		}
 		e.stats.Corrections++
+		if e.obs != nil {
+			e.obs.Emit(d.At, evCorrection, obs.Str("retracted", retracted))
+		}
 	}
 	e.echoPrims = prims
 	e.haveEchoPrims = true

@@ -5,6 +5,7 @@ import (
 
 	"gpuleak/internal/adreno"
 	"gpuleak/internal/kgsl"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
 )
@@ -20,6 +21,9 @@ const DefaultInterval = 8 * sim.Millisecond
 type Sampler struct {
 	File     *kgsl.File
 	Interval sim.Time
+	// Obs, when non-nil, records a sampler.collect span per polling loop
+	// plus read-error events, and counts polls in the metrics registry.
+	Obs *obs.Tracer
 }
 
 // NewSampler reserves the selected counters on the device file and
@@ -39,16 +43,28 @@ func NewSampler(f *kgsl.File, interval sim.Time) (*Sampler, error) {
 // Individual read errors abort collection — on a mitigated device the
 // attack fails here.
 func (s *Sampler) Collect(start, end sim.Time) (*trace.Trace, error) {
+	sp := s.Obs.Start(start, evSamplerCollect, obs.Int("interval_us", int(s.Interval)))
 	tr := &trace.Trace{Interval: s.Interval}
-	for t := start; t <= end; t += s.Interval {
+	t := start
+	for ; t <= end; t += s.Interval {
 		vals, err := s.File.ReadSelected(t)
 		if err != nil {
+			if s.Obs != nil {
+				s.Obs.Emit(t, evSamplerReadError, obs.Str("err", err.Error()))
+				sp.AddField(obs.Int("samples", tr.Len()))
+				sp.End(t)
+			}
 			return nil, fmt.Errorf("attack: reading counters at %v: %w", t, err)
 		}
 		var sm trace.Sample
 		sm.At = t
 		copy(sm.Values[:], vals[:])
 		tr.Append(sm)
+	}
+	if s.Obs != nil {
+		s.Obs.Metrics().Add("sampler.reads", int64(tr.Len()))
+		sp.AddField(obs.Int("samples", tr.Len()))
+		sp.End(t - s.Interval)
 	}
 	return tr, nil
 }

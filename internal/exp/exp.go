@@ -15,6 +15,7 @@ import (
 	"gpuleak/internal/attack"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/parallel"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/stats"
@@ -34,6 +35,11 @@ type Options struct {
 	// byte-identical at any worker count — every trial derives its seed
 	// from its index, never from scheduling.
 	Workers int
+	// Obs, when non-nil, records per-trial telemetry (one child track per
+	// RunBatch trial, created in index order so the stream is independent
+	// of scheduling). Model training stays uninstrumented: the cache's
+	// singleflight makes who-trains scheduling-dependent.
+	Obs *obs.Tracer
 }
 
 // Trials scales a paper-sized trial count down in quick mode.
@@ -153,16 +159,25 @@ var LowerDigits = []rune("abcdefghijklmnopqrstuvwxyz0123456789")
 func EavesdropOnce(cfg victim.Config, m *attack.Model, text string,
 	vol input.Volunteer, speed input.Speed, interval sim.Time,
 	opts attack.OnlineOptions, seed int64) (inferred, truth string, st attack.EngineStats, err error) {
+	return eavesdropOnce(cfg, m, text, vol, speed, interval, opts, seed, nil)
+}
+
+// eavesdropOnce is EavesdropOnce with a telemetry track attached: the
+// sampler span and every engine verdict of the run land on obsTr.
+func eavesdropOnce(cfg victim.Config, m *attack.Model, text string,
+	vol input.Volunteer, speed input.Speed, interval sim.Time,
+	opts attack.OnlineOptions, seed int64, obsTr *obs.Tracer) (inferred, truth string, st attack.EngineStats, err error) {
 
 	cfg.Seed = seed
 	sess := victim.New(cfg)
 	script := input.Typing(text, vol, speed, sim.NewRand(seed^0x5DEECE66D), 700*sim.Millisecond)
 	sess.Run(script)
+	sess.Device.SetMetrics(obsTr.Metrics())
 	f, err := sess.Open()
 	if err != nil {
 		return "", "", attack.EngineStats{}, err
 	}
-	atk := &attack.Attack{Models: []*attack.Model{m}, Interval: interval, Options: opts}
+	atk := &attack.Attack{Models: []*attack.Model{m}, Interval: interval, Options: opts, Obs: obsTr}
 	res, err := atk.Eavesdrop(f, 0, sess.End)
 	if err != nil {
 		return "", "", attack.EngineStats{}, err
@@ -200,14 +215,28 @@ func RunBatch(o Options, cfg victim.Config, m *attack.Model, alphabet []rune, le
 		texts[i] = input.RandomText(rng, alphabet, length)
 	}
 
+	// Trial tracks are pre-created in index order by this goroutine, so
+	// the merged telemetry stream is identical at any worker count.
+	var children []*obs.Tracer
+	if o.Obs != nil {
+		children = make([]*obs.Tracer, n)
+		for i := range children {
+			children[i] = o.Obs.Child(fmt.Sprintf("trial/%03d", i))
+		}
+	}
+
 	type slot struct {
 		inferred, truth string
 		stats           attack.EngineStats
 	}
 	slots := make([]slot, n)
 	err := parallel.ForEach(o.Workers, n, func(i int) error {
-		inf, truth, st, err := EavesdropOnce(cfg, m, texts[i], vol, speed,
-			interval, opts, seed+int64(i)*101)
+		var tr *obs.Tracer
+		if children != nil {
+			tr = children[i]
+		}
+		inf, truth, st, err := eavesdropOnce(cfg, m, texts[i], vol, speed,
+			interval, opts, seed+int64(i)*101, tr)
 		if err != nil {
 			return err
 		}

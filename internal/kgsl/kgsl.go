@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"gpuleak/internal/adreno"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 )
 
@@ -143,6 +144,10 @@ type Device struct {
 
 	reservations map[adreno.CounterKey]int
 	ioctlCount   uint64
+	// metrics, when non-nil, receives per-request ioctl counts and an
+	// error taxonomy (kgsl.ioctl.* / kgsl.err.*). Counters are pure
+	// aggregates, so telemetry never perturbs the simulated timeline.
+	metrics *obs.Metrics
 }
 
 // NewDevice wraps a GPU in a device file.
@@ -155,6 +160,50 @@ func (d *Device) SetPolicy(p Policy) { d.policy = p }
 
 // SetObfuscator installs a counter-value obfuscator (nil = identity).
 func (d *Device) SetObfuscator(o Obfuscator) { d.obfuscator = o }
+
+// SetMetrics routes ioctl request counts and the driver error taxonomy
+// into a telemetry registry (nil disables, the default).
+func (d *Device) SetMetrics(m *obs.Metrics) { d.metrics = m }
+
+// ioctlMetricName maps a request code onto its counter name; unknown
+// codes are the attack-surface probes the §9 defenses care about.
+func ioctlMetricName(request uint32) string {
+	switch request {
+	case IoctlPerfcounterGet:
+		return "kgsl.ioctl.perfcounter_get"
+	case IoctlPerfcounterPut:
+		return "kgsl.ioctl.perfcounter_put"
+	case IoctlPerfcounterRead:
+		return "kgsl.ioctl.perfcounter_read"
+	case IoctlPerfcounterQuery:
+		return "kgsl.ioctl.perfcounter_query"
+	default:
+		return "kgsl.ioctl.unknown"
+	}
+}
+
+// errMetricName classifies a driver error into its errno-taxonomy
+// counter, mirroring the Errors block above.
+func errMetricName(err error) string {
+	switch {
+	case errors.Is(err, ErrNotReserved):
+		return "kgsl.err.not_reserved"
+	case errors.Is(err, ErrPerm):
+		return "kgsl.err.perm"
+	case errors.Is(err, ErrInval):
+		return "kgsl.err.inval"
+	case errors.Is(err, ErrNoEnt):
+		return "kgsl.err.noent"
+	case errors.Is(err, ErrBadRequest):
+		return "kgsl.err.bad_request"
+	case errors.Is(err, ErrClosed):
+		return "kgsl.err.closed"
+	case errors.Is(err, ErrDeviceAccess):
+		return "kgsl.err.device_access"
+	default:
+		return "kgsl.err.other"
+	}
+}
 
 // GPU exposes the underlying GPU (victim-side wiring only).
 func (d *Device) GPU() *adreno.GPU { return d.gpu }
@@ -200,6 +249,17 @@ func (f *File) Close() error {
 // Ioctl dispatches a request at simulated time t. arg must be a pointer to
 // the request's struct type.
 func (f *File) Ioctl(t sim.Time, request uint32, arg any) error {
+	err := f.ioctl(t, request, arg)
+	if m := f.dev.metrics; m != nil {
+		m.Add(ioctlMetricName(request), 1)
+		if err != nil {
+			m.Add(errMetricName(err), 1)
+		}
+	}
+	return err
+}
+
+func (f *File) ioctl(t sim.Time, request uint32, arg any) error {
 	if f.closed {
 		return ErrClosed
 	}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format, the JSON
+// schema Perfetto and chrome://tracing load natively. Spans map to
+// "complete" (ph "X") events and instants to thread-scoped "i" events;
+// each obs track becomes a named thread so parallel offline tasks and
+// per-trial engines render as side-by-side swimlanes.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+const chromePID = 1
+
+// WriteChromeTrace serializes events as a Chrome trace-event JSON object
+// ({"traceEvents": [...]}). Track-to-tid assignment follows first
+// appearance in the (already deterministic) event order, with metadata
+// records naming each thread, so the output is as reproducible as the
+// JSONL stream. Timestamps pass through unscaled: sim.Time is already in
+// microseconds, the unit the format expects.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ce chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(&ce)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	tids := map[string]int{}
+	order := []string{}
+	for _, e := range events {
+		if _, ok := tids[e.Track]; !ok {
+			tids[e.Track] = len(tids) + 1
+			order = append(order, e.Track)
+		}
+	}
+	if err := emit(chromeEvent{Name: "process_name", Phase: "M", PID: chromePID,
+		Args: map[string]any{"name": "gpuleak"}}); err != nil {
+		return err
+	}
+	for _, track := range order {
+		if err := emit(chromeEvent{Name: "thread_name", Phase: "M", PID: chromePID,
+			TID: tids[track], Args: map[string]any{"name": track}}); err != nil {
+			return err
+		}
+	}
+	for i, e := range events {
+		ce := chromeEvent{
+			Name: string(e.Name),
+			TS:   int64(e.At),
+			PID:  chromePID,
+			TID:  tids[e.Track],
+		}
+		if e.Dur > 0 {
+			ce.Phase = "X"
+			ce.Dur = int64(e.Dur)
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		if len(e.Fields) > 0 {
+			ce.Args = make(map[string]any, len(e.Fields))
+			for _, f := range e.Fields {
+				if f.IsNum {
+					ce.Args[f.Key] = f.Num
+				} else {
+					ce.Args[f.Key] = f.Str
+				}
+			}
+		}
+		if err := emit(ce); err != nil {
+			return fmt.Errorf("obs: writing chrome event %d: %w", i, err)
+		}
+	}
+	if _, err := io.WriteString(bw, "]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

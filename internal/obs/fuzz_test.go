@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONL hardens the telemetry reader the same way trace.FuzzReadCSV
+// hardens the trace parser: arbitrary input never panics, and any stream
+// that parses must survive a write/read round trip unchanged (the writer
+// is canonical, so the second serialization must equal the first).
+func FuzzReadJSONL(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteJSONL(&buf, sampleEvents())
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("{}\n")
+	f.Add(`{"seq":0,"at_us":12,"name":"e","track":"main"}` + "\n")
+	f.Add(`{"seq":0,"at_us":12,"dur_us":3,"name":"e","track":"t","attrs":{"a":1,"b":"x"}}` + "\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		evs, err := ReadJSONL(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteJSONL(&out, evs); err != nil {
+			t.Fatalf("reserializing parsed stream: %v", err)
+		}
+		back, err := ReadJSONL(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(evs) {
+			t.Fatalf("round trip lost events: %d vs %d", len(back), len(evs))
+		}
+		var out2 bytes.Buffer
+		if err := WriteJSONL(&out2, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatalf("serialization not canonical:\n%q\nvs\n%q", out.String(), out2.String())
+		}
+	})
+}

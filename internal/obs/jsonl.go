@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gpuleak/internal/sim"
+)
+
+// jsonlEvent is the JSONL wire form of one event. Attrs marshal as a JSON
+// object; encoding/json writes map keys sorted, so a given event list has
+// exactly one serialization — the property the golden-stream and
+// worker-count determinism tests pin.
+type jsonlEvent struct {
+	Seq   int            `json:"seq"`
+	At    int64          `json:"at_us"`
+	Dur   int64          `json:"dur_us,omitempty"`
+	Name  string         `json:"name"`
+	Track string         `json:"track"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// WriteJSONL serializes events as one JSON object per line, assigning
+// each line its sequence number in the deterministic merged order.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, e := range events {
+		je := jsonlEvent{
+			Seq:   i,
+			At:    int64(e.At),
+			Dur:   int64(e.Dur),
+			Name:  string(e.Name),
+			Track: e.Track,
+		}
+		if len(e.Fields) > 0 {
+			je.Attrs = make(map[string]any, len(e.Fields))
+			for _, f := range e.Fields {
+				if f.IsNum {
+					je.Attrs[f.Key] = f.Num
+				} else {
+					je.Attrs[f.Key] = f.Str
+				}
+			}
+		}
+		if err := enc.Encode(&je); err != nil {
+			return fmt.Errorf("obs: writing event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a stream written by WriteJSONL. Attribute maps come
+// back as Fields sorted by key (the serialized order), so a parsed stream
+// re-serializes byte-identically. Unknown names are accepted: a stream
+// may have been written by a binary with a different registered set.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		if je.Name == "" {
+			return nil, fmt.Errorf("obs: line %d: event has no name", line)
+		}
+		if je.Dur < 0 {
+			return nil, fmt.Errorf("obs: line %d: negative span duration %d", line, je.Dur)
+		}
+		e := Event{
+			At:    sim.Time(je.At),
+			Dur:   sim.Time(je.Dur),
+			Name:  Name(je.Name),
+			Track: je.Track,
+		}
+		if len(je.Attrs) > 0 {
+			keys := make([]string, 0, len(je.Attrs))
+			for k := range je.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				switch v := je.Attrs[k].(type) {
+				case string:
+					e.Fields = append(e.Fields, Str(k, v))
+				case float64:
+					e.Fields = append(e.Fields, Num(k, v))
+				default:
+					return nil, fmt.Errorf("obs: line %d: attr %q has unsupported type %T", line, k, v)
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading stream: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpuleak/internal/sim"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: 0, Dur: 2 * sim.Millisecond, Name: tnSpan, Track: "main",
+			Fields: []Field{Num("n", 3), Str("what", "warmup")}},
+		{At: 1500, Name: tnAlpha, Track: "task/001",
+			Fields: []Field{Str("r", "a"), Num("dist", 1.25)}},
+		{At: 2500, Name: tnBeta, Track: "task/001"},
+	}
+}
+
+// TestJSONLRoundTrip pins the canonical-serialization property: a parsed
+// stream re-serializes byte-identically (attrs are written key-sorted).
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	evs, err := ReadJSONL(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(evs))
+	}
+	if evs[0].Dur != 2*sim.Millisecond || evs[1].Track != "task/001" {
+		t.Fatalf("parse mangled events: %+v", evs[:2])
+	}
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, evs); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Fatalf("round trip not canonical:\n%s\nvs\n%s", first, buf2.String())
+	}
+}
+
+// TestJSONLRejectsGarbage pins the error paths the fuzzer also explores.
+func TestJSONLRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{
+		"not json\n",
+		`{"seq":0,"at_us":1,"track":"x"}` + "\n", // no name
+		`{"seq":0,"at_us":1,"dur_us":-5,"name":"a","track":"x"}` + "\n",           // negative span
+		`{"seq":0,"at_us":1,"name":"a","track":"x","attrs":{"b":true}}` + "\n",    // bool attr
+		`{"seq":0,"at_us":1,"name":"a","track":"x","attrs":{"b":{"c":1}}}` + "\n", // nested attr
+		`{"seq":0,"at_us":1,"name":"a","track":"x","attrs":{"b":[1]}}` + "\n",     // array attr
+		`{"seq":0,"at_us":1,"name":"a","track":"x","attrs":{"b":null}}` + "\n",    // null attr
+		`{"seq":0,"at_us":"soon","name":"a","track":"x"}` + "\n",                  // string timestamp
+	} {
+		if _, err := ReadJSONL(strings.NewReader(doc)); err == nil {
+			t.Errorf("ReadJSONL accepted %q", doc)
+		}
+	}
+	// Blank lines are tolerated (hand-edited files, trailing newlines).
+	evs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank-only stream: %v, %d events", err, len(evs))
+	}
+}

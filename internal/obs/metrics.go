@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// histogram is a streaming summary: count/sum/min/max (enough for the
+// bench report; full bucketing would bloat the snapshot for no consumer).
+type histogram struct {
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// Metrics is the counters/histograms registry. One registry is shared by
+// a tracer and all of its children, and by design every operation is an
+// order-independent aggregation (sums, counts, min/max), so concurrent
+// workers never make a snapshot scheduling-dependent. A nil *Metrics is
+// disabled and every method no-ops.
+type Metrics struct {
+	mu    sync.Mutex
+	count map[string]int64
+	hist  map[string]*histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{count: map[string]int64{}, hist: map[string]*histogram{}}
+}
+
+// Enabled reports whether the registry records anything.
+func (m *Metrics) Enabled() bool { return m != nil }
+
+// Add increments a named counter.
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.count[name] += delta
+	m.mu.Unlock()
+}
+
+// Observe records one sample into a named histogram.
+func (m *Metrics) Observe(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h := m.hist[name]
+	if h == nil {
+		h = &histogram{min: v, max: v}
+		m.hist[name] = h
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	m.mu.Unlock()
+}
+
+// Counter reads one counter's current value.
+func (m *Metrics) Counter(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count[name]
+}
+
+// Snapshot flattens the registry into a sorted-key map: counters under
+// their own name, histograms under <name>.count/.sum/.mean/.min/.max.
+// The map is what benchpaper -json embeds in the gpuleak-bench/v1 report.
+func (m *Metrics) Snapshot() map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.count)+5*len(m.hist))
+	for k, v := range m.count {
+		out[k] = float64(v)
+	}
+	for k, h := range m.hist {
+		out[k+".count"] = float64(h.count)
+		out[k+".sum"] = h.sum
+		if h.count > 0 {
+			out[k+".mean"] = h.sum / float64(h.count)
+		}
+		out[k+".min"] = h.min
+		out[k+".max"] = h.max
+	}
+	return out
+}
+
+// Names returns every metric name (counters and histograms), sorted.
+func (m *Metrics) Names() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.count)+len(m.hist))
+	for k := range m.count {
+		out = append(out, k)
+	}
+	for k := range m.hist {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -15,7 +15,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"gpuleak/internal/obs"
 )
+
+// poolMetrics is the pool's optional telemetry sink. Commands opt in once
+// at startup with ObserveWith; the hot path loads an atomic pointer, so
+// the disabled cost is one predictable branch per batch. Every recorded
+// quantity is an order-independent aggregate (sums, per-worker tallies),
+// never an event stream — scheduling is allowed to show up here, which is
+// exactly why pool utilization lives in the metrics registry and not in
+// the deterministic event stream.
+var poolMetrics atomic.Pointer[obs.Metrics]
+
+// ObserveWith routes pool statistics (batches, tasks, queue depth,
+// per-worker utilization) into a metrics registry; nil disables. Set it
+// before fanning out work.
+func ObserveWith(m *obs.Metrics) { poolMetrics.Store(m) }
 
 // Workers resolves a worker-count knob: n > 0 selects exactly n workers,
 // n <= 0 selects one worker per available CPU.
@@ -40,10 +56,19 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	m := poolMetrics.Load()
+	if m != nil {
+		m.Add("parallel.batches", 1)
+		m.Add("parallel.tasks", int64(n))
+		m.Observe("parallel.batch_workers", float64(workers))
+	}
 	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			errs[i] = fn(i)
+		}
+		if m != nil {
+			m.Observe("parallel.worker_tasks", float64(n))
 		}
 	} else {
 		var next atomic.Int64
@@ -52,12 +77,22 @@ func ForEach(workers, n int, fn func(i int) error) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				ran := 0
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= n {
-						return
+						break
+					}
+					if m != nil {
+						// Queue depth at grab time: tasks not yet handed out.
+						m.Observe("parallel.queue_depth", float64(n-i-1))
 					}
 					errs[i] = fn(i)
+					ran++
+				}
+				if m != nil {
+					// Per-worker utilization: how evenly the batch spread.
+					m.Observe("parallel.worker_tasks", float64(ran))
 				}
 			}()
 		}

@@ -12,6 +12,9 @@
 #   6. telemetry  — seeded attackd run with -telemetry; the stream must
 #                   parse and be non-empty (traceview validates), and it
 #                   must convert to a Chrome trace file
+#   7. gpuleakd   — serving smoke: start the daemon, loadgen -smoke checks
+#                   /healthz and one /v1/eavesdrop round-trip, then SIGTERM
+#                   must drain to a clean exit 0
 #
 # Run from the repo root: ./ci.sh
 #
@@ -76,5 +79,29 @@ go run ./cmd/attackd -seed 7 -text hunter2 \
 go run ./cmd/traceview -telemetry "$telemetry_dir/telemetry.jsonl" \
     -telemetry-chrome "$telemetry_dir/telemetry.trace.json"
 test -s "$telemetry_dir/telemetry.trace.json"
+
+echo "==> gpuleakd smoke"
+# The serving layer must come up, answer /healthz and one end-to-end
+# /v1/eavesdrop (loadgen -smoke verifies the inference matches the ground
+# truth), and drain cleanly on SIGTERM. Binaries are prebuilt so the
+# background daemon is a real process we can signal and wait on.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$telemetry_dir" "$smoke_dir"' EXIT
+go build -o "$smoke_dir/gpuleakd" ./cmd/gpuleakd
+go build -o "$smoke_dir/loadgen" ./cmd/loadgen
+"$smoke_dir/gpuleakd" -addr 127.0.0.1:18419 >"$smoke_dir/gpuleakd.log" 2>&1 &
+gpuleakd_pid=$!
+if ! "$smoke_dir/loadgen" -smoke -addr http://127.0.0.1:18419 -healthz-wait 30s; then
+    echo "gpuleakd smoke failed; daemon log:" >&2
+    cat "$smoke_dir/gpuleakd.log" >&2
+    kill "$gpuleakd_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$gpuleakd_pid"
+if ! wait "$gpuleakd_pid"; then
+    echo "gpuleakd did not drain cleanly on SIGTERM; daemon log:" >&2
+    cat "$smoke_dir/gpuleakd.log" >&2
+    exit 1
+fi
 
 echo "CI: all gates passed"

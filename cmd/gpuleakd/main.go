@@ -1,0 +1,97 @@
+// Command gpuleakd serves the attack pipeline over HTTP/JSON: a sharded
+// model registry trains per-configuration classifiers on demand
+// (deduplicated, LRU-capped) and concurrent eavesdrop / train /
+// experiment requests flow through bounded per-shard work queues that
+// answer 429 under overload. Responses are byte-identical to the library
+// path for the same request at any concurrency.
+//
+// Endpoints:
+//
+//	POST /v1/eavesdrop   {"text":"hunter2","seed":7,...}  → inference
+//	POST /v1/train       {"device":"Pixel 5",...}         → warm registry
+//	POST /v1/experiment  {"id":"fig17","quick":true}      → paper artifact
+//	GET  /healthz                                         → liveness/drain
+//	GET  /metrics                                         → obs snapshot
+//
+// SIGINT/SIGTERM initiates graceful shutdown: new requests get 503, every
+// in-flight Algorithm-1 run drains (bounded by -drain-timeout), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpuleak/internal/obs"
+	"gpuleak/internal/parallel"
+	"gpuleak/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpuleakd: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	shards := flag.Int("shards", 4, "registry shards / work queues")
+	cache := flag.Int("cache", 8, "trained models kept per shard (LRU beyond)")
+	workers := flag.Int("queue-workers", 2, "concurrent runs per shard")
+	queue := flag.Int("queue-depth", 8, "waiting requests per shard before 429")
+	trainWorkers := flag.Int("train-workers", 0, "collection workers per training (0 = one per CPU)")
+	trainRepeats := flag.Int("train-repeats", 2, "offline-phase repeats per key")
+	reqTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline cap (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+	flag.Parse()
+
+	metrics := obs.NewMetrics()
+	parallel.ObserveWith(metrics)
+	srv := serve.NewServer(serve.Options{
+		Shards:          *shards,
+		CachePerShard:   *cache,
+		WorkersPerShard: *workers,
+		QueuePerShard:   *queue,
+		TrainWorkers:    *trainWorkers,
+		TrainRepeats:    *trainRepeats,
+		RequestTimeout:  *reqTimeout,
+		Metrics:         metrics,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("shutdown: draining in-flight runs (bound %v)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Stop admitting first (healthz flips to draining/503), then drain
+		// the work queues, then close the HTTP side.
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := httpSrv.Shutdown(dctx); err != nil {
+			log.Printf("shutdown: http: %v", err)
+		}
+	}()
+
+	log.Printf("listening on http://%s (%d shards, %d workers + %d queued per shard)",
+		ln.Addr(), *shards, *workers, *queue)
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-drained
+	log.Printf("drained cleanly")
+}

@@ -1,0 +1,288 @@
+// Command loadgen drives configurable open-loop load against a gpuleakd
+// instance and emits a machine-readable gpuleak-load/v1 JSON report for
+// the CI perf trajectory (the serving-side sibling of gpuleak-bench/v1).
+//
+// Open-loop means requests are launched on a fixed schedule regardless of
+// completions — the honest way to measure a backpressuring server: when
+// the shard queues fill, the 429s show up in the report instead of the
+// generator politely slowing down.
+//
+//	loadgen -addr http://127.0.0.1:8080 -rate 20 -duration 5s > load.json
+//
+// With -smoke, loadgen instead performs the CI liveness check: wait for
+// /healthz, run one eavesdrop, verify the inference round-trips, exit
+// non-zero on any failure.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type eavesdropRequest struct {
+	Device    string `json:"device,omitempty"`
+	App       string `json:"app,omitempty"`
+	Keyboard  string `json:"keyboard,omitempty"`
+	Text      string `json:"text"`
+	Seed      int64  `json:"seed"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+type eavesdropResponse struct {
+	Text  string `json:"text"`
+	Truth string `json:"truth"`
+	Model string `json:"model"`
+}
+
+// report is the gpuleak-load/v1 schema.
+type report struct {
+	Schema    string  `json:"schema"`
+	Target    string  `json:"target"`
+	RateRPS   float64 `json:"rate_rps"`
+	DurationS float64 `json:"duration_s"`
+	WallS     float64 `json:"wall_s"`
+
+	Sent     int `json:"sent"`
+	OK       int `json:"ok"`
+	Rejected int `json:"rejected"` // 429: shard queue full (backpressure)
+	Draining int `json:"draining"` // 503: server shutting down
+	Errors   int `json:"errors"`   // transport errors + other statuses
+	Correct  int `json:"correct"`  // inferences matching ground truth
+
+	LatencyMS latency        `json:"latency_ms"`
+	Statuses  map[string]int `json:"statuses"`
+}
+
+type latency struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+type outcome struct {
+	status  int // 0 = transport error
+	correct bool
+	lat     time.Duration
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	addr := flag.String("addr", "http://127.0.0.1:8080", "gpuleakd base URL")
+	rate := flag.Float64("rate", 10, "open-loop request rate (req/s)")
+	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
+	text := flag.String("text", "hunter2pass", "credential each simulated victim types")
+	seed := flag.Int64("seed", 1, "base seed; request i uses seed+i")
+	device := flag.String("device", "", "victim device (server default when empty)")
+	app := flag.String("app", "", "target app (server default when empty)")
+	kb := flag.String("keyboard", "", "keyboard (server default when empty)")
+	reqTimeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	smoke := flag.Bool("smoke", false, "liveness check: wait for /healthz, one eavesdrop, exit")
+	wait := flag.Duration("healthz-wait", 30*time.Second, "how long to poll /healthz before giving up")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *reqTimeout}
+	if *smoke {
+		if err := runSmoke(client, *addr, *text, *seed, *wait); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("smoke: ok")
+		return
+	}
+
+	if err := waitHealthy(client, *addr, *wait); err != nil {
+		log.Fatal(err)
+	}
+	rep := runLoad(client, *addr, *rate, *duration, *text, *seed, *device, *app, *kb)
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sent=%d ok=%d rejected=%d errors=%d correct=%d p50=%.0fms",
+		rep.Sent, rep.OK, rep.Rejected, rep.Errors, rep.Correct, rep.LatencyMS.P50)
+}
+
+// runLoad fires requests open-loop at the target rate and aggregates the
+// outcomes into a report.
+func runLoad(client *http.Client, addr string, rate float64, duration time.Duration,
+	text string, seed int64, device, app, kb string) *report {
+
+	if rate <= 0 {
+		rate = 1
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	n := int(float64(duration) / float64(interval))
+	if n < 1 {
+		n = 1
+	}
+
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			<-tick.C
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := oneRequest(client, addr, eavesdropRequest{
+				Device: device, App: app, Keyboard: kb,
+				Text: text, Seed: seed + int64(i),
+			})
+			mu.Lock()
+			outcomes = append(outcomes, o)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &report{
+		Schema:    "gpuleak-load/v1",
+		Target:    addr,
+		RateRPS:   rate,
+		DurationS: duration.Seconds(),
+		WallS:     wall.Seconds(),
+		Statuses:  map[string]int{},
+	}
+	var lats []float64
+	for _, o := range outcomes {
+		rep.Sent++
+		rep.Statuses[fmt.Sprintf("%d", o.status)]++
+		switch {
+		case o.status == http.StatusOK:
+			rep.OK++
+			lats = append(lats, float64(o.lat)/float64(time.Millisecond))
+			if o.correct {
+				rep.Correct++
+			}
+		case o.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		case o.status == http.StatusServiceUnavailable:
+			rep.Draining++
+		default:
+			rep.Errors++
+		}
+	}
+	rep.LatencyMS = summarize(lats)
+	return rep
+}
+
+func oneRequest(client *http.Client, addr string, req eavesdropRequest) outcome {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return outcome{}
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/eavesdrop", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{}
+	}
+	defer resp.Body.Close()
+	var er eavesdropResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil && resp.StatusCode == http.StatusOK {
+		return outcome{status: -1, lat: time.Since(start)}
+	}
+	return outcome{
+		status:  resp.StatusCode,
+		correct: er.Text != "" && er.Text == er.Truth,
+		lat:     time.Since(start),
+	}
+}
+
+func summarize(lats []float64) latency {
+	if len(lats) == 0 {
+		return latency{}
+	}
+	sort.Float64s(lats)
+	var sum float64
+	for _, l := range lats {
+		sum += l
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	return latency{
+		Mean: sum / float64(len(lats)),
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P99:  pct(0.99),
+		Max:  lats[len(lats)-1],
+	}
+}
+
+// waitHealthy polls /healthz until the server answers 200.
+func waitHealthy(client *http.Client, addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not healthy after %v: %v", wait, err)
+			}
+			return fmt.Errorf("server not healthy after %v", wait)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// runSmoke is the CI liveness check: healthz, then one eavesdrop whose
+// inference must round-trip the typed credential.
+func runSmoke(client *http.Client, addr, text string, seed int64, wait time.Duration) error {
+	if err := waitHealthy(client, addr, wait); err != nil {
+		return err
+	}
+	log.Printf("smoke: /healthz ok")
+	o := oneRequest(client, addr, eavesdropRequest{Text: text, Seed: seed})
+	if o.status != http.StatusOK {
+		return fmt.Errorf("smoke: eavesdrop status %d", o.status)
+	}
+	if !o.correct {
+		return fmt.Errorf("smoke: inference did not match ground truth")
+	}
+	log.Printf("smoke: /v1/eavesdrop ok (%.0f ms, inference matches truth)",
+		float64(o.lat)/float64(time.Millisecond))
+	return nil
+}

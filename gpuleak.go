@@ -27,12 +27,35 @@
 //	result, _ := gpuleak.NewAttack(model).Eavesdrop(file, 0, session.End)
 //	fmt.Println(result.Text)                        // "hunter2"
 //
+// # Contexts, options, errors
+//
+// Every phase has a context-aware variant that honors cancellation
+// without ever changing a completed result: TrainContext (stops between
+// per-key collection tasks), Attack.EavesdropContext (checks at every
+// sampler tick), Sampler.CollectContext, and RunExperimentContext. The
+// context-free signatures remain as context.Background wrappers. The
+// context entry points take functional options — WithWorkers, WithObs,
+// WithInterval, WithRepeats — layered over the existing option structs.
+// Failures match the stable taxonomy ErrUnknownExperiment, ErrBusy and
+// ErrModelNotTrained under errors.Is.
+//
+// # Serving
+//
+// cmd/gpuleakd wraps this pipeline in an HTTP/JSON service (package
+// internal/serve): a sharded model registry trains classifiers on miss
+// and serves concurrent /v1/eavesdrop, /v1/train and /v1/experiment
+// requests through bounded per-shard work queues that reject with 429
+// when full. Responses are byte-identical to the library path for the
+// same seed at any concurrency; cmd/loadgen drives open-loop load
+// against it. See the README's "Serving" section.
+//
 // This code exists to let defenders study and quantify the leak; the
 // "hardware" is a simulator and the package cannot read real GPU
 // counters.
 package gpuleak
 
 import (
+	"context"
 	"io"
 	"strings"
 
@@ -59,7 +82,8 @@ type (
 	// Model is a trained per-configuration classifier.
 	Model = attack.Model
 	// Attack is the attacking application: preloaded models + sampler +
-	// online engine.
+	// online engine. Eavesdrop runs the full online phase;
+	// EavesdropContext adds sampler-tick-granular cancellation.
 	Attack = attack.Attack
 	// Result is an eavesdropping outcome.
 	Result = attack.Result
@@ -133,11 +157,14 @@ func NewVictim(cfg VictimConfig) *Session { return victim.New(cfg) }
 
 // Train runs the offline phase on a controlled device of the given
 // configuration and returns the classifier to preload into the attack.
+// See TrainContext for cancellation and functional options.
 func Train(cfg VictimConfig) (*Model, error) {
 	return attack.Collect(cfg, attack.CollectOptions{})
 }
 
-// TrainWith runs the offline phase with explicit options.
+// TrainWith runs the offline phase with an explicit options struct;
+// TrainContext(ctx, cfg, WithWorkers(...), ...) is the functional-option
+// equivalent.
 func TrainWith(cfg VictimConfig, opts CollectOptions) (*Model, error) {
 	return attack.Collect(cfg, opts)
 }
@@ -208,16 +235,14 @@ type Experiment = exp.Experiment
 func Experiments() []Experiment { return exp.All }
 
 // RunExperiment executes one experiment by figure/table ID ("fig17",
-// "table2", ...). quick shrinks trial counts for fast runs.
+// "table2", ...). quick shrinks trial counts for fast runs. See
+// RunExperimentContext for cancellation and worker/telemetry options.
 func RunExperiment(id string, quick bool, seed int64) (*exp.Result, error) {
-	e, ok := exp.ByID(id)
-	if !ok {
-		return nil, &UnknownExperimentError{ID: id}
-	}
-	return e.Run(exp.Options{Quick: quick, Seed: seed})
+	return RunExperimentContext(context.Background(), id, quick, seed)
 }
 
-// UnknownExperimentError reports a bad experiment ID.
+// UnknownExperimentError reports a bad experiment ID. It matches
+// ErrUnknownExperiment under errors.Is.
 type UnknownExperimentError struct{ ID string }
 
 func (e *UnknownExperimentError) Error() string {
@@ -233,7 +258,8 @@ func PracticalSessionAt(text string, v Volunteer, seed int64, start Time) Script
 
 // NewSamplerOn reserves the Table-1 counters on a device file and returns
 // the 8 ms sampler, for callers that want the raw trace (forensics,
-// offline segmentation).
+// offline segmentation). OpenSampler is the configurable variant
+// (WithInterval, WithObs).
 func NewSamplerOn(f *KGSLFile) (*attack.Sampler, error) {
 	return attack.NewSampler(f, attack.DefaultInterval)
 }

@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,6 +11,11 @@ import (
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
 )
+
+// ErrModelNotTrained reports an attack attempted without a classifier for
+// the victim configuration — no models preloaded, or a registry lookup
+// that was told not to train on miss. Match with errors.Is.
+var ErrModelNotTrained = errors.New("attack: model not trained for configuration")
 
 // Result is the outcome of one eavesdropping run.
 type Result struct {
@@ -53,7 +60,7 @@ func New(models ...*Model) *Attack {
 // frame without swallowing unrelated events.
 func (a *Attack) Recognize(ds []trace.Delta, interval sim.Time) (*Model, error) {
 	if len(a.Models) == 0 {
-		return nil, fmt.Errorf("attack: no models preloaded")
+		return nil, fmt.Errorf("no models preloaded: %w", ErrModelNotTrained)
 	}
 	if len(a.Models) == 1 {
 		return a.Models[0], nil
@@ -115,13 +122,25 @@ func (a *Attack) EavesdropTrace(tr *trace.Trace) (*Result, error) {
 // [start, end] and infers the typed credential. This is the full online
 // phase: poll counters, recognize the device, classify deltas.
 func (a *Attack) Eavesdrop(f *kgsl.File, start, end sim.Time) (*Result, error) {
+	return a.EavesdropContext(context.Background(), f, start, end)
+}
+
+// EavesdropContext is Eavesdrop with cancellation: the sampling loop
+// checks ctx at every polling tick, and the engine run is skipped when
+// the context dies between sampling and inference. The result for a
+// completed run is byte-identical to Eavesdrop — the context is a control
+// channel, never an input to the inference.
+func (a *Attack) EavesdropContext(ctx context.Context, f *kgsl.File, start, end sim.Time) (*Result, error) {
 	s, err := NewSampler(f, a.Interval)
 	if err != nil {
 		return nil, err
 	}
 	s.Obs = a.Obs
-	tr, err := s.Collect(start, end)
+	tr, err := s.CollectContext(ctx, start, end)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return a.EavesdropTrace(tr)

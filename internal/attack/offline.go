@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -306,6 +307,15 @@ func collectKey(cfg victim.Config, opts CollectOptions, r rune, repeat int, wlen
 // cache, so the model depends only on (cfg, opts minus Workers), never on
 // the worker count or scheduling.
 func Collect(cfg victim.Config, opts CollectOptions) (*Model, error) {
+	return CollectContext(context.Background(), cfg, opts)
+}
+
+// CollectContext is Collect with cancellation honored at per-(key,repeat)
+// granularity: once ctx is done no further collection tasks start, the
+// ones already running finish, and the call returns the context's error
+// instead of a partial model. A run that completes is byte-identical to
+// Collect — cancellation can only abort, never skew.
+func CollectContext(ctx context.Context, cfg victim.Config, opts CollectOptions) (*Model, error) {
 	// Controlled collection environment: the attacker owns this device, so
 	// notifications are silenced; cursor blink stays on because its delta
 	// signature must be learned as noise.
@@ -355,7 +365,7 @@ func Collect(cfg victim.Config, opts CollectOptions) (*Model, error) {
 		return children[i]
 	}
 
-	outs, err := parallel.Map(opts.Workers, nTasks, func(i int) (taskOut, error) {
+	outs, err := parallel.MapCtx(ctx, opts.Workers, nTasks, func(i int) (taskOut, error) {
 		if i == 0 {
 			return collectSweep(opts, sweepSess, alphabet, wlen, child(0))
 		}

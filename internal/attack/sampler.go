@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 
 	"gpuleak/internal/adreno"
@@ -43,10 +44,26 @@ func NewSampler(f *kgsl.File, interval sim.Time) (*Sampler, error) {
 // Individual read errors abort collection — on a mitigated device the
 // attack fails here.
 func (s *Sampler) Collect(start, end sim.Time) (*trace.Trace, error) {
+	return s.CollectContext(context.Background(), start, end)
+}
+
+// CollectContext is Collect with cancellation honored at sampler-tick
+// granularity: the polling loop checks ctx before every counter read and
+// aborts with the context's error, so a canceled request never completes
+// a sweep it no longer needs.
+func (s *Sampler) CollectContext(ctx context.Context, start, end sim.Time) (*trace.Trace, error) {
 	sp := s.Obs.Start(start, evSamplerCollect, obs.Int("interval_us", int(s.Interval)))
 	tr := &trace.Trace{Interval: s.Interval}
 	t := start
 	for ; t <= end; t += s.Interval {
+		if err := ctx.Err(); err != nil {
+			if s.Obs != nil {
+				s.Obs.Emit(t, evSamplerReadError, obs.Str("err", err.Error()))
+				sp.AddField(obs.Int("samples", tr.Len()))
+				sp.End(t)
+			}
+			return nil, fmt.Errorf("attack: sampling canceled at %v: %w", t, err)
+		}
 		vals, err := s.File.ReadSelected(t)
 		if err != nil {
 			if s.Obs != nil {

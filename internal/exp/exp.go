@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -40,6 +41,19 @@ type Options struct {
 	// of scheduling). Model training stays uninstrumented: the cache's
 	// singleflight makes who-trains scheduling-dependent.
 	Obs *obs.Tracer
+	// Ctx, when non-nil, cancels the experiment cooperatively: batches
+	// stop issuing trials and in-flight eavesdrops abort at the next
+	// sampler tick. A run that completes is byte-identical to an
+	// uncanceled one.
+	Ctx context.Context
+}
+
+// Context resolves the cancellation context (Background when unset).
+func (o Options) Context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Trials scales a paper-sized trial count down in quick mode.
@@ -159,12 +173,13 @@ var LowerDigits = []rune("abcdefghijklmnopqrstuvwxyz0123456789")
 func EavesdropOnce(cfg victim.Config, m *attack.Model, text string,
 	vol input.Volunteer, speed input.Speed, interval sim.Time,
 	opts attack.OnlineOptions, seed int64) (inferred, truth string, st attack.EngineStats, err error) {
-	return eavesdropOnce(cfg, m, text, vol, speed, interval, opts, seed, nil)
+	return eavesdropOnce(context.Background(), cfg, m, text, vol, speed, interval, opts, seed, nil)
 }
 
-// eavesdropOnce is EavesdropOnce with a telemetry track attached: the
-// sampler span and every engine verdict of the run land on obsTr.
-func eavesdropOnce(cfg victim.Config, m *attack.Model, text string,
+// eavesdropOnce is EavesdropOnce with a cancellation context and a
+// telemetry track attached: the sampler span and every engine verdict of
+// the run land on obsTr.
+func eavesdropOnce(ctx context.Context, cfg victim.Config, m *attack.Model, text string,
 	vol input.Volunteer, speed input.Speed, interval sim.Time,
 	opts attack.OnlineOptions, seed int64, obsTr *obs.Tracer) (inferred, truth string, st attack.EngineStats, err error) {
 
@@ -178,7 +193,7 @@ func eavesdropOnce(cfg victim.Config, m *attack.Model, text string,
 		return "", "", attack.EngineStats{}, err
 	}
 	atk := &attack.Attack{Models: []*attack.Model{m}, Interval: interval, Options: opts, Obs: obsTr}
-	res, err := atk.Eavesdrop(f, 0, sess.End)
+	res, err := atk.EavesdropContext(ctx, f, 0, sess.End)
 	if err != nil {
 		return "", "", attack.EngineStats{}, err
 	}
@@ -230,12 +245,12 @@ func RunBatch(o Options, cfg victim.Config, m *attack.Model, alphabet []rune, le
 		stats           attack.EngineStats
 	}
 	slots := make([]slot, n)
-	err := parallel.ForEach(o.Workers, n, func(i int) error {
+	err := parallel.ForEachCtx(o.Context(), o.Workers, n, func(i int) error {
 		var tr *obs.Tracer
 		if children != nil {
 			tr = children[i]
 		}
-		inf, truth, st, err := eavesdropOnce(cfg, m, texts[i], vol, speed,
+		inf, truth, st, err := eavesdropOnce(o.Context(), cfg, m, texts[i], vol, speed,
 			interval, opts, seed+int64(i)*101, tr)
 		if err != nil {
 			return err

@@ -1,5 +1,15 @@
 package exp
 
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownExperiment reports an experiment ID absent from the registry.
+// Match with errors.Is; errors returned by Run wrap it together with the
+// offending ID.
+var ErrUnknownExperiment = errors.New("exp: unknown experiment")
+
 // Runner executes one experiment.
 type Runner func(Options) (*Result, error)
 
@@ -54,4 +64,14 @@ func ByID(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// Run looks an experiment up by ID and executes it, returning an error
+// wrapping ErrUnknownExperiment for IDs absent from the registry.
+func Run(id string, o Options) (*Result, error) {
+	e, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+	}
+	return e.Run(o)
 }

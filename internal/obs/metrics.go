@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"fmt"
+	"io"
 	"sort"
+	"strconv"
 	"sync"
 )
 
@@ -97,6 +100,39 @@ func (m *Metrics) Snapshot() map[string]float64 {
 		out[k+".max"] = h.max
 	}
 	return out
+}
+
+// WriteJSON renders the Snapshot as one sorted-key JSON object, so two
+// snapshots of identical registries are byte-identical regardless of map
+// iteration order. This is the /metrics wire format of the serving layer.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	return WriteSnapshotJSON(w, m.Snapshot())
+}
+
+// WriteSnapshotJSON renders any snapshot-shaped map (metric name → value)
+// as one sorted-key JSON object; callers may fold extra gauges into a
+// Snapshot before rendering.
+func WriteSnapshotJSON(w io.Writer, snap map[string]float64) error {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s\n  %q: %s", sep, k,
+			strconv.FormatFloat(snap[k], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
 }
 
 // Names returns every metric name (counters and histograms), sorted.

@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -49,8 +50,18 @@ func Workers(n int) int {
 // error of the lowest-indexed failing task is returned, so the outcome —
 // results and error alike — is independent of scheduling.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// no further tasks are handed out (tasks already running finish). Errors
+// of completed tasks keep their index-order precedence; when the batch was
+// cut short and no task failed, the context's error is returned. Note
+// that WHICH tasks ran after a cancellation depends on timing — the
+// determinism contract only covers runs that complete.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -63,12 +74,19 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		m.Observe("parallel.batch_workers", float64(workers))
 	}
 	errs := make([]error, n)
+	issued := n
 	if workers == 1 {
+		ran := 0
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				issued = i
+				break
+			}
 			errs[i] = fn(i)
+			ran++
 		}
 		if m != nil {
-			m.Observe("parallel.worker_tasks", float64(n))
+			m.Observe("parallel.worker_tasks", float64(ran))
 		}
 	} else {
 		var next atomic.Int64
@@ -78,7 +96,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 			go func() {
 				defer wg.Done()
 				ran := 0
-				for {
+				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						break
@@ -97,11 +115,19 @@ func ForEach(workers, n int, fn func(i int) error) error {
 			}()
 		}
 		wg.Wait()
+		// Workers stop grabbing once ctx is done, so a frozen counter below
+		// n means some tasks were never issued.
+		if int(next.Load()) < n {
+			issued = int(next.Load())
+		}
 	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	if issued < n {
+		return ctx.Err()
 	}
 	return nil
 }
@@ -110,8 +136,13 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // returns the results in index order. On failure it returns the error of
 // the lowest-indexed failing task (see ForEach).
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation (see ForEachCtx).
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,0 +1,216 @@
+// Package serve is the repo's inference-serving layer: an HTTP/JSON
+// front-end over the attack pipeline that mirrors the train-once /
+// serve-many split of the paper (§3.2 offline phase, §5 Algorithm 1
+// online phase). A sharded model registry trains classifiers on miss —
+// deduplicated by singleflight, bounded by a per-shard LRU — and every
+// request flows through a bounded per-shard work queue that rejects with
+// 429 when full, so load beyond capacity degrades by refusal, never by
+// unbounded queueing.
+//
+// Determinism is inherited from the layers below: for a fixed request
+// (configuration, text, seed) the response is byte-identical to the
+// library path (gpuleak.Train + NewAttack().Eavesdrop) at any request
+// concurrency, which the root-level serving tests pin.
+//
+// The package deliberately never reads the wall clock (the gpuvet
+// simtime gate applies here too): deadlines come from request contexts,
+// and the Retry-After hint is a constant.
+package serve
+
+import (
+	"fmt"
+
+	"gpuleak/internal/android"
+	"gpuleak/internal/attack"
+	"gpuleak/internal/input"
+	"gpuleak/internal/keyboard"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/victim"
+)
+
+// Schema identifies the wire format of every JSON response body.
+const Schema = "gpuleak-serve/v1"
+
+// EavesdropRequest is the body of POST /v1/eavesdrop: one victim session
+// to simulate and eavesdrop. Empty configuration fields select the
+// paper's workhorse setup (OnePlus 8 Pro, Chase, GBoard).
+type EavesdropRequest struct {
+	Device   string `json:"device,omitempty"`
+	App      string `json:"app,omitempty"`
+	Keyboard string `json:"keyboard,omitempty"`
+	// Text is the credential the simulated victim types (required).
+	Text string `json:"text"`
+	// Seed drives the victim simulation; the same (config, text, seed)
+	// always yields the same response.
+	Seed int64 `json:"seed"`
+	// Volunteer selects the §7 typing profile (0-4).
+	Volunteer int `json:"volunteer,omitempty"`
+	// Practical injects §8 behavior: corrections, app switches, glances.
+	Practical bool `json:"practical,omitempty"`
+	// PretrainedOnly refuses to train on miss: the request fails with 412
+	// (gpuleak.ErrModelNotTrained) unless the registry already holds the
+	// model.
+	PretrainedOnly bool `json:"pretrained_only,omitempty"`
+	// TimeoutMS caps this request's deadline. The server's own request
+	// timeout still applies; the effective deadline is the smaller.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// EavesdropResponse is the result of one served eavesdropping run.
+type EavesdropResponse struct {
+	Schema string `json:"schema"`
+	// Model is the classifier chosen by device recognition.
+	Model string `json:"model"`
+	// Text is the eavesdropped credential.
+	Text string `json:"text"`
+	// Truth is the ground truth the simulated victim actually typed.
+	Truth string `json:"truth"`
+	// Keys is the number of inferred key presses.
+	Keys int `json:"keys"`
+	// EstimatedLength is the §5.3 echo-redraw length estimate (-1: none).
+	EstimatedLength int `json:"estimated_length"`
+	// Stats is the online engine's bookkeeping.
+	Stats attack.EngineStats `json:"stats"`
+}
+
+// TrainRequest is the body of POST /v1/train: warm the registry for a
+// configuration without running an eavesdrop.
+type TrainRequest struct {
+	Device    string `json:"device,omitempty"`
+	App       string `json:"app,omitempty"`
+	Keyboard  string `json:"keyboard,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// TrainResponse reports a (possibly cached) trained model.
+type TrainResponse struct {
+	Schema string `json:"schema"`
+	Model  string `json:"model"`
+	Keys   int    `json:"keys"`
+	Noise  int    `json:"noise"`
+	// Cached is true when the model was already resident before this
+	// request.
+	Cached bool `json:"cached"`
+}
+
+// ExperimentRequest is the body of POST /v1/experiment: run one paper
+// table/figure by registry ID.
+type ExperimentRequest struct {
+	ID        string `json:"id"`
+	Quick     bool   `json:"quick,omitempty"`
+	Seed      int64  `json:"seed"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// ExperimentResponse carries one experiment's table and metrics.
+type ExperimentResponse struct {
+	Schema  string             `json:"schema"`
+	ID      string             `json:"id"`
+	Table   string             `json:"table"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Schema string `json:"schema"`
+	// Status is "ok" while serving, "draining" once shutdown began.
+	Status string `json:"status"`
+	// Models and Training count resident and in-flight registry entries.
+	Models   int `json:"models"`
+	Training int `json:"training"`
+	// Inflight counts requests currently inside the work queues.
+	Inflight int `json:"inflight"`
+	Shards   int `json:"shards"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Schema string `json:"schema"`
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// Scenario is a fully resolved eavesdropping request: the victim
+// configuration plus the script the simulated user will type. It is the
+// server-side mirror of the facade quick start — Script reproduces
+// gpuleak.TypeText (or PracticalSession) exactly, which is what makes
+// the served result byte-identical to the library path.
+type Scenario struct {
+	Cfg       victim.Config
+	Text      string
+	Volunteer int
+	Practical bool
+}
+
+// ResolveScenario validates an EavesdropRequest against the device, app
+// and keyboard catalogs and materializes the victim configuration the
+// facade quick start would build for it.
+func ResolveScenario(req EavesdropRequest) (Scenario, error) {
+	if req.Text == "" {
+		return Scenario{}, fmt.Errorf("%w: empty text", ErrBadRequest)
+	}
+	if req.Volunteer < 0 || req.Volunteer >= len(input.Volunteers) {
+		return Scenario{}, fmt.Errorf("%w: volunteer must be 0-%d", ErrBadRequest, len(input.Volunteers)-1)
+	}
+	cfg := victim.Config{Seed: req.Seed, RenderJitter: defaultRenderJitter}
+	dev := req.Device
+	if dev == "" {
+		dev = "OnePlus 8 Pro"
+	}
+	d, ok := android.DeviceByName(dev)
+	if !ok {
+		return Scenario{}, fmt.Errorf("%w: unknown device %q", ErrBadRequest, req.Device)
+	}
+	cfg.Device = d
+	app := req.App
+	if app == "" {
+		app = "Chase"
+	}
+	a, ok := android.AppByName(app)
+	if !ok {
+		return Scenario{}, fmt.Errorf("%w: unknown app %q", ErrBadRequest, req.App)
+	}
+	cfg.App = a
+	kb := req.Keyboard
+	if kb == "" {
+		kb = "gboard"
+	}
+	l := keyboard.ByName(kb)
+	if l == nil {
+		return Scenario{}, fmt.Errorf("%w: unknown keyboard %q", ErrBadRequest, req.Keyboard)
+	}
+	cfg.Keyboard = l
+	return Scenario{Cfg: cfg, Text: req.Text, Volunteer: req.Volunteer, Practical: req.Practical}, nil
+}
+
+// defaultRenderJitter matches the realistic jitter attackd and the
+// experiment layer's DefaultConfig apply to victim sessions.
+const defaultRenderJitter = 0.0001
+
+// Script builds the victim input script: exactly what gpuleak.TypeText
+// (volunteer 0) or gpuleak.PracticalSession produce for the same text and
+// seed, starting 0.7 s after app launch.
+func (s Scenario) Script() input.Script {
+	vol := input.Volunteers[s.Volunteer]
+	rng := sim.NewRand(s.Cfg.Seed)
+	if s.Practical {
+		return input.Practical(s.Text, vol, input.DefaultPracticalOptions(), rng, 700*sim.Millisecond)
+	}
+	return input.Typing(s.Text, vol, input.SpeedAny, rng, 700*sim.Millisecond)
+}
+
+// TrainSeed is the fixed offline-phase seed: model identity depends only
+// on the configuration, never on which request triggered training.
+const TrainSeed = 12345
+
+// TrainConfig derives the controlled collection configuration for a
+// victim configuration, the same derivation the experiment layer's model
+// cache uses: jitter and background load off, fixed seed.
+func TrainConfig(cfg victim.Config) victim.Config {
+	t := cfg
+	t.RenderJitter = 0
+	t.CPULoad = 0
+	t.GPULoad = 0
+	t.Seed = TrainSeed
+	return t
+}

@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gpuleak/internal/attack"
+	"gpuleak/internal/exp"
+	"gpuleak/internal/kgsl"
+	"gpuleak/internal/obs"
+	"gpuleak/internal/victim"
+)
+
+// Sentinels of the serving layer; the facade re-exports them so clients
+// never import this package.
+var (
+	// ErrBusy reports a full per-shard work queue: the request was
+	// rejected with 429 instead of queueing unboundedly. Retry after the
+	// Retry-After hint.
+	ErrBusy = errors.New("serve: shard work queue full")
+	// ErrBadRequest reports an unresolvable request (unknown device, app,
+	// keyboard, empty text, bad volunteer index).
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrDraining reports a request received after shutdown began.
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// retryAfterSeconds is the constant Retry-After hint on 429/503 replies.
+// A constant (rather than a queue-derived estimate) keeps the package
+// free of wall-clock reads; clients treat it as a floor, not a promise.
+const retryAfterSeconds = "1"
+
+// Options tunes a Server. The zero value serves with 4 shards, 8 models
+// per shard, 2 workers + 8 waiters per shard queue, and no server-side
+// request timeout.
+type Options struct {
+	// Shards is the number of registry shards and work queues.
+	Shards int
+	// CachePerShard caps resident trained models per shard (LRU beyond).
+	CachePerShard int
+	// WorkersPerShard bounds how many requests of one shard execute
+	// concurrently.
+	WorkersPerShard int
+	// QueuePerShard bounds how many admitted requests may wait per shard;
+	// admission beyond workers+queue is rejected with 429 + Retry-After.
+	QueuePerShard int
+	// TrainWorkers is the collection worker count for on-miss training
+	// (0 = one per CPU). Never part of the model identity: models are
+	// byte-identical at any worker count.
+	TrainWorkers int
+	// TrainRepeats is the offline phase's per-key repeat count (default 2,
+	// matching the experiment layer's model cache).
+	TrainRepeats int
+	// RequestTimeout caps every request's deadline; clients may only
+	// shorten it (timeout_ms). Zero means no server-side cap.
+	RequestTimeout time.Duration
+	// Metrics receives serving counters and registry statistics; nil
+	// allocates a fresh registry (exposed at /metrics either way).
+	Metrics *obs.Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards < 1 {
+		o.Shards = 4
+	}
+	if o.CachePerShard < 1 {
+		o.CachePerShard = 8
+	}
+	if o.WorkersPerShard < 1 {
+		o.WorkersPerShard = 2
+	}
+	if o.QueuePerShard < 1 {
+		o.QueuePerShard = 8
+	}
+	if o.TrainRepeats < 1 {
+		o.TrainRepeats = 2
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewMetrics()
+	}
+	return o
+}
+
+// workShard is one bounded work queue. admit caps the total number of
+// requests in the system for this shard (executing + waiting); run caps
+// concurrent execution. Admission is non-blocking — a full admit channel
+// is the 429 signal — while the run slot is awaited under the request's
+// context, so a queued request either runs or times out, never hangs.
+type workShard struct {
+	admit chan struct{}
+	run   chan struct{}
+}
+
+// Server is the HTTP serving layer: a model registry, per-shard bounded
+// work queues, and the /v1 endpoints. Create with NewServer, expose with
+// Handler, stop with Shutdown (drains in-flight runs).
+type Server struct {
+	opts Options
+	reg  *Registry
+	work []*workShard
+	mux  *http.ServeMux
+	m    *obs.Metrics
+
+	mu       sync.Mutex
+	inflight int
+	draining bool
+	idle     chan struct{} // closed when draining and inflight == 0
+}
+
+// NewServer builds a serving layer over the attack pipeline.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts: opts,
+		m:    opts.Metrics,
+		mux:  http.NewServeMux(),
+		idle: make(chan struct{}),
+	}
+	s.reg = NewRegistry(opts.Shards, opts.CachePerShard, func(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
+		return attack.CollectContext(ctx, cfg, attack.CollectOptions{
+			Repeats: opts.TrainRepeats,
+			Workers: opts.TrainWorkers,
+		})
+	}, opts.Metrics)
+	for i := 0; i < opts.Shards; i++ {
+		s.work = append(s.work, &workShard{
+			admit: make(chan struct{}, opts.WorkersPerShard+opts.QueuePerShard),
+			run:   make(chan struct{}, opts.WorkersPerShard),
+		})
+	}
+	s.mux.HandleFunc("POST /v1/eavesdrop", s.handleEavesdrop)
+	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
+	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Registry exposes the server's model registry (for warm-up and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// begin admits one request into the in-flight set; it fails once Shutdown
+// has been called.
+func (s *Server) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	s.inflight++
+	return nil
+}
+
+// end retires one request and signals Shutdown when the last one drains.
+func (s *Server) end() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	if s.draining && s.inflight == 0 {
+		close(s.idle)
+	}
+}
+
+// Shutdown stops admitting requests and blocks until every in-flight
+// Algorithm-1 run has drained, or ctx expires. It is idempotent only in
+// the sense that the first call wins; serve it once from the signal path.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		if s.inflight == 0 {
+			close(s.idle)
+		}
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Shutdown has been initiated.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Inflight reports the number of requests currently admitted.
+func (s *Server) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// do runs fn through shard's bounded work queue under the request's
+// context. The queue never blocks admission: a full shard answers ErrBusy
+// immediately, and an admitted request waits for an execution slot only
+// as long as its context lives.
+func (s *Server) do(ctx context.Context, shard int, fn func(context.Context) error) error {
+	ws := s.work[shard]
+	select {
+	case ws.admit <- struct{}{}:
+	default:
+		s.m.Add("serve.rejected", 1)
+		return fmt.Errorf("shard %d (%d in system): %w", shard, cap(ws.admit), ErrBusy)
+	}
+	defer func() { <-ws.admit }()
+	s.m.Add("serve.admitted", 1)
+	select {
+	case ws.run <- struct{}{}:
+	case <-ctx.Done():
+		s.m.Add("serve.queue_timeouts", 1)
+		return fmt.Errorf("serve: queued on shard %d: %w", shard, ctx.Err())
+	}
+	defer func() { <-ws.run }()
+	return fn(ctx)
+}
+
+// requestContext applies the server cap and the client hint (whichever is
+// smaller) to the request context.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	d := s.opts.RequestTimeout
+	if timeoutMS > 0 {
+		if c := time.Duration(timeoutMS) * time.Millisecond; d == 0 || c < d {
+			d = c
+		}
+	}
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// statusFor maps the error taxonomy onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, exp.ErrUnknownExperiment):
+		return http.StatusNotFound
+	case errors.Is(err, attack.ErrModelNotTrained):
+		return http.StatusPreconditionFailed
+	case errors.Is(err, kgsl.ErrPerm), errors.Is(err, kgsl.ErrDeviceAccess):
+		// A mitigated device refused the counter interface (§9).
+		return http.StatusForbidden
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone: nothing left to report to
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	s.m.Add("serve.errors", 1)
+	writeJSON(w, status, ErrorResponse{Schema: Schema, Error: err.Error(), Status: status})
+}
+
+func decode[T any](r *http.Request, into *T) error {
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		return fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// handleEavesdrop serves POST /v1/eavesdrop: resolve the scenario, fetch
+// (or train) the model, simulate the victim session, and run the online
+// phase — the exact pipeline of the facade quick start, so the response
+// is byte-identical to the library path for the same request.
+func (s *Server) handleEavesdrop(w http.ResponseWriter, r *http.Request) {
+	var req EavesdropRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	scen, err := ResolveScenario(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.begin(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.end()
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	var resp EavesdropResponse
+	trainCfg := TrainConfig(scen.Cfg)
+	err = s.do(ctx, s.reg.ShardFor(Key(trainCfg)), func(ctx context.Context) error {
+		var m *attack.Model
+		var err error
+		if req.PretrainedOnly {
+			m, err = s.reg.Lookup(trainCfg)
+		} else {
+			m, err = s.reg.Get(ctx, trainCfg)
+		}
+		if err != nil {
+			return err
+		}
+		sess := victim.New(scen.Cfg)
+		sess.Run(scen.Script())
+		f, err := sess.Open()
+		if err != nil {
+			return fmt.Errorf("serve: opening device file: %w", err)
+		}
+		res, err := attack.New(m).EavesdropContext(ctx, f, 0, sess.End)
+		if err != nil {
+			return err
+		}
+		resp = EavesdropResponse{
+			Schema:          Schema,
+			Model:           res.Model.String(),
+			Text:            res.Text,
+			Truth:           sess.TypedText(),
+			Keys:            len(res.Keys),
+			EstimatedLength: res.EstimatedLength,
+			Stats:           res.Stats,
+		}
+		return nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.m.Add("serve.eavesdrops", 1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrain serves POST /v1/train: warm the registry for a
+// configuration. Reports whether the model was already resident.
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req TrainRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	scen, err := ResolveScenario(EavesdropRequest{
+		Device: req.Device, App: req.App, Keyboard: req.Keyboard,
+		Text: "warmup", // unused by training; satisfies scenario validation
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.begin(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.end()
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	var resp TrainResponse
+	trainCfg := TrainConfig(scen.Cfg)
+	err = s.do(ctx, s.reg.ShardFor(Key(trainCfg)), func(ctx context.Context) error {
+		_, cachedErr := s.reg.Lookup(trainCfg)
+		m, err := s.reg.Get(ctx, trainCfg)
+		if err != nil {
+			return err
+		}
+		resp = TrainResponse{
+			Schema: Schema,
+			Model:  Key(trainCfg),
+			Keys:   len(m.Keys),
+			Noise:  len(m.Noise),
+			Cached: cachedErr == nil,
+		}
+		return nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.m.Add("serve.trains", 1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExperiment serves POST /v1/experiment: run one paper table or
+// figure through the experiment registry.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.ID == "" {
+		s.writeError(w, fmt.Errorf("%w: empty experiment id", ErrBadRequest))
+		return
+	}
+	if err := s.begin(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.end()
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	var resp ExperimentResponse
+	err := s.do(ctx, s.reg.ShardFor("exp/"+req.ID), func(ctx context.Context) error {
+		res, err := exp.Run(req.ID, exp.Options{
+			Quick: req.Quick, Seed: req.Seed,
+			Workers: s.opts.TrainWorkers, Ctx: ctx,
+		})
+		if err != nil {
+			return err
+		}
+		resp = ExperimentResponse{
+			Schema: Schema, ID: res.ID,
+			Table: res.Table.String(), Metrics: res.Metrics,
+		}
+		return nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.m.Add("serve.experiments", 1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 once
+// draining, with registry and queue statistics either way.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	models, training := s.reg.Stats()
+	resp := HealthResponse{
+		Schema:   Schema,
+		Status:   "ok",
+		Models:   models,
+		Training: training,
+		Inflight: s.Inflight(),
+		Shards:   s.reg.Shards(),
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics serves GET /metrics: the obs registry snapshot with the
+// serving gauges folded in, as one sorted-key JSON object (byte-stable
+// for identical states).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.m.Add("serve.metric_scrapes", 1)
+	models, training := s.reg.Stats()
+	snap := s.m.Snapshot()
+	snap["registry.models_resident"] = float64(models)
+	snap["registry.training"] = float64(training)
+	snap["registry.evictions"] = float64(Evictions())
+	snap["serve.inflight"] = float64(s.Inflight())
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteSnapshotJSON(w, snap) //nolint:errcheck // client gone mid-scrape
+}

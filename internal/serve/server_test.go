@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpuleak/internal/attack"
+	"gpuleak/internal/victim"
+)
+
+// blockedServer builds a server whose trainings park on the returned
+// release channel, so tests can hold requests in flight deterministically.
+func blockedServer(t *testing.T, opts Options) (*Server, chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	s := NewServer(opts)
+	s.reg = NewRegistry(s.opts.Shards, s.opts.CachePerShard,
+		func(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
+			select {
+			case <-release:
+				return &attack.Model{}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}, s.m)
+	return s, release
+}
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+// waitCounter polls a metrics counter until it reaches want; these
+// transitions complete in microseconds, the deadline is pure paranoia.
+func waitCounter(t *testing.T, s *Server, key string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s.m.Snapshot()[key] >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never reached %v (snapshot %v)", key, want, s.m.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServerBackpressure pins the overload contract: with 1 worker and 1
+// queue slot on the only shard, a third concurrent request is refused
+// with 429 + Retry-After immediately — it neither queues unboundedly nor
+// hangs.
+func TestServerBackpressure(t *testing.T) {
+	s, release := blockedServer(t, Options{
+		Shards: 1, WorkersPerShard: 1, QueuePerShard: 1,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer close(release)
+
+	// Two requests for the same configuration: one executing (parked in
+	// the blocked training), one admitted and waiting for the run slot.
+	results := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/train", `{}`)
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+	}
+	waitCounter(t, s, "serve.admitted", 2)
+
+	// The shard's admit capacity (workers+queue = 2) is now exhausted.
+	resp := postJSON(t, ts.URL+"/v1/train", `{}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 reply missing Retry-After")
+	}
+	er := decodeBody[ErrorResponse](t, resp)
+	if !strings.Contains(er.Error, "queue full") {
+		t.Fatalf("429 body %q does not name the full queue", er.Error)
+	}
+	if s.m.Snapshot()["serve.rejected"] != 1 {
+		t.Fatalf("serve.rejected = %v, want 1", s.m.Snapshot()["serve.rejected"])
+	}
+
+	// Releasing the training drains both held requests successfully: the
+	// queue rejected the excess, not the admitted work.
+	release <- struct{}{}
+	wg.Wait()
+	close(results)
+	for code := range results {
+		if code != http.StatusOK {
+			t.Fatalf("held request finished with %d, want 200", code)
+		}
+	}
+}
+
+// TestServerQueueWaitHonorsContext pins that an admitted request waiting
+// for a run slot gives up when its context dies instead of hanging.
+func TestServerQueueWaitHonorsContext(t *testing.T) {
+	s := NewServer(Options{Shards: 1, WorkersPerShard: 1, QueuePerShard: 4})
+
+	hold := make(chan struct{})
+	running := make(chan struct{})
+	go s.do(context.Background(), 0, func(context.Context) error { //nolint:errcheck
+		close(running)
+		<-hold
+		return nil
+	})
+	<-running
+	defer close(hold)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.do(ctx, 0, func(context.Context) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued request with dead context: %v, want context.Canceled", err)
+	}
+	if s.m.Snapshot()["serve.queue_timeouts"] != 1 {
+		t.Fatalf("serve.queue_timeouts = %v, want 1", s.m.Snapshot()["serve.queue_timeouts"])
+	}
+}
+
+// TestServerGracefulShutdown pins the drain contract: Shutdown stops
+// admission (new requests get 503, healthz flips to draining) and blocks
+// until the in-flight run completes — which then still answers 200.
+func TestServerGracefulShutdown(t *testing.T) {
+	s, release := blockedServer(t, Options{Shards: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/v1/train", `{}`)
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	waitCounter(t, s, "serve.admitted", 1)
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/train", `{}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 reply missing Retry-After")
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d, want 503", hresp.StatusCode)
+	}
+	if h := decodeBody[HealthResponse](t, hresp); h.Status != "draining" {
+		t.Fatalf("healthz status %q, want %q", h.Status, "draining")
+	}
+
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned before the in-flight run drained: %v", err)
+	default:
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if code := <-inflight; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200", code)
+	}
+}
+
+// TestServerShutdownDeadline pins that Shutdown gives up when its context
+// expires with work still in flight.
+func TestServerShutdownDeadline(t *testing.T) {
+	s, release := blockedServer(t, Options{Shards: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer close(release)
+
+	go func() {
+		resp := postJSON(t, ts.URL+"/v1/train", `{}`)
+		resp.Body.Close()
+	}()
+	waitCounter(t, s, "serve.admitted", 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown with dead context: %v, want context.Canceled", err)
+	}
+}
+
+// TestServerErrorTaxonomy pins the HTTP status mapping of the stable
+// error sentinels.
+func TestServerErrorTaxonomy(t *testing.T) {
+	s := NewServer(Options{Shards: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"empty text", "/v1/eavesdrop", `{}`, http.StatusBadRequest},
+		{"unknown device", "/v1/eavesdrop", `{"text":"x","device":"Nokia 3310"}`, http.StatusBadRequest},
+		{"unknown keyboard", "/v1/eavesdrop", `{"text":"x","keyboard":"morse"}`, http.StatusBadRequest},
+		{"bad volunteer", "/v1/eavesdrop", `{"text":"x","volunteer":9}`, http.StatusBadRequest},
+		{"malformed body", "/v1/eavesdrop", `{"text":`, http.StatusBadRequest},
+		{"unknown experiment", "/v1/experiment", `{"id":"fig99"}`, http.StatusNotFound},
+		{"empty experiment", "/v1/experiment", `{}`, http.StatusBadRequest},
+		{"pretrained only, cold registry", "/v1/eavesdrop",
+			`{"text":"x","pretrained_only":true}`, http.StatusPreconditionFailed},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+tc.path, tc.body)
+		er := decodeBody[ErrorResponse](t, resp)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d (%s), want %d", tc.name, resp.StatusCode, er.Error, tc.want)
+		}
+		if er.Schema != Schema || er.Status != resp.StatusCode {
+			t.Errorf("%s: error body %+v inconsistent with reply", tc.name, er)
+		}
+	}
+}
+
+// TestServerHealthzAndMetrics pins the observability endpoints: healthz
+// reports registry statistics, /metrics is valid JSON carrying the
+// serving gauges.
+func TestServerHealthzAndMetrics(t *testing.T) {
+	s, release := blockedServer(t, Options{Shards: 2})
+	close(release) // trainings complete immediately
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/train", `{}`)
+	if tr := decodeBody[TrainResponse](t, resp); tr.Cached {
+		t.Fatal("first training reported cached=true")
+	}
+	resp = postJSON(t, ts.URL+"/v1/train", `{}`)
+	if tr := decodeBody[TrainResponse](t, resp); !tr.Cached {
+		t.Fatal("second training of the same configuration not cached")
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decodeBody[HealthResponse](t, hresp)
+	if hresp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: %d %q, want 200 ok", hresp.StatusCode, h.Status)
+	}
+	if h.Models != 1 || h.Training != 0 || h.Shards != 2 {
+		t.Fatalf("healthz stats %+v, want 1 model, 0 training, 2 shards", h)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := decodeBody[map[string]float64](t, mresp)
+	for _, key := range []string{
+		"registry.models_resident", "registry.training",
+		"registry.evictions", "serve.inflight", "serve.trains",
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("/metrics missing %s", key)
+		}
+	}
+	if snap["registry.models_resident"] != 1 {
+		t.Errorf("registry.models_resident = %v, want 1", snap["registry.models_resident"])
+	}
+}

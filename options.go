@@ -1,0 +1,59 @@
+package gpuleak
+
+import "gpuleak/internal/sim"
+
+// Option is a functional option accepted by the facade's context-aware
+// entry points (TrainContext, OpenSampler, RunExperimentContext). Options
+// are a thin layer over the existing option structs — CollectOptions,
+// exp.Options and the sampler knobs keep working unchanged — so callers
+// can start with the one-liner and graduate to the structs when they need
+// the full surface.
+type Option func(*apiOptions)
+
+// apiOptions is the merged knob set the functional options write into;
+// each entry point projects the fields it understands.
+type apiOptions struct {
+	workers  int
+	obs      *Tracer
+	interval Time
+	repeats  int
+}
+
+func buildOptions(opts []Option) apiOptions {
+	var o apiOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithWorkers caps the worker pool an operation fans out across: 1 is
+// fully serial, 0 (the default) one worker per CPU. Worker counts never
+// change results — training and experiments are byte-identical at any
+// parallelism.
+func WithWorkers(n int) Option { return func(o *apiOptions) { o.workers = n } }
+
+// WithObs attaches a telemetry tracer (see NewTracer): offline-phase
+// spans, sampler spans and engine verdicts land on it deterministically.
+func WithObs(tr *Tracer) Option { return func(o *apiOptions) { o.obs = tr } }
+
+// WithInterval overrides the counter polling period (default 8 ms,
+// halved on panels faster than 60 Hz during training).
+func WithInterval(d Time) Option { return func(o *apiOptions) { o.interval = d } }
+
+// WithRepeats sets how many times the offline phase emulates each key
+// (default 3 for TrainContext, matching Train).
+func WithRepeats(n int) Option { return func(o *apiOptions) { o.repeats = n } }
+
+// collect projects the options onto the offline phase's struct.
+func (o apiOptions) collect() CollectOptions {
+	return CollectOptions{
+		Repeats:  o.repeats,
+		Interval: o.interval,
+		Workers:  o.workers,
+		Obs:      o.obs,
+	}
+}
+
+// samplerInterval resolves the polling period for OpenSampler.
+func (o apiOptions) samplerInterval() sim.Time { return o.interval }

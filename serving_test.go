@@ -1,0 +1,156 @@
+package gpuleak
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpuleak/internal/serve"
+)
+
+// servedEavesdrop POSTs one eavesdrop request and returns the raw body
+// (for byte-equality) plus the decoded response.
+func servedEavesdrop(t *testing.T, url, body string) ([]byte, serve.EavesdropResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/eavesdrop", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/eavesdrop: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/eavesdrop: status %d: %s", resp.StatusCode, raw)
+	}
+	var er serve.EavesdropResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatalf("decoding %s: %v", raw, err)
+	}
+	return raw, er
+}
+
+// TestServedEavesdropMatchesLibrary pins the serving layer's core
+// contract: /v1/eavesdrop is byte-identical to the library quick start
+// for the same request, at parallelism 1 and at parallelism 8 — the
+// queues, the shared registry and the per-request contexts are control
+// plumbing that never leaks into the result.
+func TestServedEavesdropMatchesLibrary(t *testing.T) {
+	const (
+		text = "hunter2"
+		seed = int64(7)
+	)
+
+	// Library path: exactly the package-doc quick start, with the serving
+	// layer's own scenario/training derivations so both sides agree on
+	// the configuration.
+	req := serve.EavesdropRequest{Text: text, Seed: seed}
+	scen, err := serve.ResolveScenario(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := TrainWith(serve.TrainConfig(scen.Cfg), CollectOptions{Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewVictim(scen.Cfg)
+	sess.Run(TypeText(text, seed))
+	f, err := sess.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewAttack(model).Eavesdrop(f, 0, sess.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := serve.NewServer(serve.Options{Shards: 2, TrainRepeats: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := fmt.Sprintf(`{"text":%q,"seed":%d}`, text, seed)
+
+	check := func(raw []byte, got serve.EavesdropResponse) {
+		t.Helper()
+		if got.Text != want.Text {
+			t.Errorf("served text %q, library text %q", got.Text, want.Text)
+		}
+		if got.Truth != sess.TypedText() {
+			t.Errorf("served truth %q, session truth %q", got.Truth, sess.TypedText())
+		}
+		if got.Keys != len(want.Keys) {
+			t.Errorf("served keys %d, library keys %d", got.Keys, len(want.Keys))
+		}
+		if got.EstimatedLength != want.EstimatedLength {
+			t.Errorf("served estimated_length %d, library %d",
+				got.EstimatedLength, want.EstimatedLength)
+		}
+		if got.Stats != want.Stats {
+			t.Errorf("served stats %+v, library stats %+v", got.Stats, want.Stats)
+		}
+		if got.Model != want.Model.String() {
+			t.Errorf("served model %q, library model %q", got.Model, want.Model)
+		}
+	}
+
+	// Parallelism 1: a single request against a cold registry (the server
+	// trains its own model on miss — it must land on the same bytes).
+	serialRaw, serialResp := servedEavesdrop(t, ts.URL, body)
+	check(serialRaw, serialResp)
+
+	// Parallelism 8: identical concurrent requests against the now-warm
+	// registry; every body must match the serial one byte for byte.
+	const parallelism = 8
+	raws := make([][]byte, parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < parallelism; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, resp := servedEavesdrop(t, ts.URL, body)
+			check(raw, resp)
+			raws[i] = raw
+		}(i)
+	}
+	wg.Wait()
+	for i, raw := range raws {
+		if !bytes.Equal(raw, serialRaw) {
+			t.Fatalf("concurrent response %d differs from serial response:\n%s\nvs\n%s",
+				i, raw, serialRaw)
+		}
+	}
+}
+
+// TestServedPracticalSession pins that the server's practical mode uses
+// the same script generator as PracticalSession: the served ground truth
+// matches a locally simulated practical session.
+func TestServedPracticalSession(t *testing.T) {
+	const (
+		text = "pass123"
+		seed = int64(3)
+	)
+	scen, err := serve.ResolveScenario(serve.EavesdropRequest{
+		Text: text, Seed: seed, Practical: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewVictim(scen.Cfg)
+	sess.Run(PracticalSession(text, Volunteers[0], seed))
+
+	srv := serve.NewServer(serve.Options{Shards: 1, TrainRepeats: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	_, got := servedEavesdrop(t, ts.URL,
+		fmt.Sprintf(`{"text":%q,"seed":%d,"practical":true}`, text, seed))
+	if got.Truth != sess.TypedText() {
+		t.Fatalf("served practical truth %q, local session truth %q",
+			got.Truth, sess.TypedText())
+	}
+}

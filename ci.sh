@@ -7,7 +7,9 @@
 #   2. go vet     — the stock toolchain analyzers
 #   3. go build   — everything compiles
 #   4. gpuvet     — the repo's own invariants (see README "Static
-#                   analysis & CI"); production packages only
+#                   analysis & CI"); production packages only. Includes
+#                   the doccheck gate: exported symbols on the documented
+#                   surface (facade, serve, obs, fault) must carry godoc
 #   5. go test    — full test suite under the race detector
 #   6. telemetry  — seeded attackd run with -telemetry; the stream must
 #                   parse and be non-empty (traceview validates), and it
@@ -15,6 +17,9 @@
 #   7. gpuleakd   — serving smoke: start the daemon, loadgen -smoke checks
 #                   /healthz and one /v1/eavesdrop round-trip, then SIGTERM
 #                   must drain to a clean exit 0
+#   8. chaos      — fault-injection smoke: cmd/chaos -check asserts the
+#                   none profile is a byte-identical passthrough and that
+#                   injected faults are recovered, never fatal
 #
 # Run from the repo root: ./ci.sh
 #
@@ -102,6 +107,18 @@ if ! wait "$gpuleakd_pid"; then
     echo "gpuleakd did not drain cleanly on SIGTERM; daemon log:" >&2
     cat "$smoke_dir/gpuleakd.log" >&2
     exit 1
+fi
+
+echo "==> chaos smoke"
+# The fault plane's contracts, end to end: the "none" profile must match
+# the raw library path byte for byte, faulty profiles must inject and the
+# retry policy must recover every trial (fatal=0). The report lands in
+# the smoke dir so CI can archive it.
+go run ./cmd/chaos -profiles none,moderate -trials 3 -seed 7 \
+    -out "$smoke_dir/chaos.json" -check
+if [ -n "${CI_ARTIFACTS:-}" ]; then
+    mkdir -p "$CI_ARTIFACTS"
+    cp "$smoke_dir/chaos.json" "$CI_ARTIFACTS/chaos.json"
 fi
 
 echo "CI: all gates passed"

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"gpuleak/internal/android"
 	"gpuleak/internal/attack"
+	"gpuleak/internal/fault"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
 	"gpuleak/internal/obs"
@@ -35,6 +37,8 @@ func main() {
 	practical := flag.Bool("practical", false, "inject corrections/app switches (§8 behavior)")
 	traceOut := flag.String("trace", "", "write the raw counter trace as CSV")
 	monitor := flag.Bool("monitor", false, "start with the Figure-4 monitoring service: the victim uses another app first, the attack waits for the target launch")
+	faults := flag.String("faults", "", "inject device faults from this profile (none,mild,moderate,severe) and arm the retry policy")
+	faultSeed := flag.Int64("fault-seed", 0, "fault schedule seed (default: derived from -seed)")
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -114,9 +118,26 @@ func main() {
 	}
 	atk := attack.New(m)
 	atk.Obs = tracer
+	df := attack.DeviceFile(f)
+	var faultFile *fault.File
+	if *faults != "" {
+		p, ok := fault.ByName(*faults)
+		if !ok {
+			log.Fatalf("unknown fault profile %q (have %s)", *faults, strings.Join(fault.Names(), ","))
+		}
+		fs := *faultSeed
+		if fs == 0 {
+			fs = fault.Seed(*seed, 0)
+		}
+		faultFile = fault.NewFile(f, p, fs)
+		faultFile.Obs = tracer
+		df = faultFile
+		atk.Retry = attack.DefaultRetryPolicy()
+		log.Printf("fault injection: profile %s (rate %.3f, fault seed %d), retry policy armed", p.Name, p.Rate(), fs)
+	}
 	var res *attack.Result
 	if *monitor {
-		mr, err := atk.MonitorAndEavesdrop(f, 0, sess.End, attack.MonitorOptions{})
+		mr, err := atk.MonitorAndEavesdrop(df, 0, sess.End, attack.MonitorOptions{})
 		if err != nil {
 			log.Fatalf("monitoring failed: %v", err)
 		}
@@ -128,7 +149,7 @@ func main() {
 		res = mr.Result
 	} else if *traceOut != "" {
 		// Collect explicitly so the raw trace can be archived.
-		smp, err := attack.NewSampler(f, atk.Interval)
+		smp, err := attack.NewSamplerRetry(df, atk.Interval, atk.Retry)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -153,7 +174,7 @@ func main() {
 			log.Fatalf("eavesdropping failed: %v", err)
 		}
 	} else {
-		res, err = atk.Eavesdrop(f, 0, sess.End)
+		res, err = atk.Eavesdrop(df, 0, sess.End)
 		if err != nil {
 			log.Fatalf("eavesdropping failed: %v", err)
 		}
@@ -167,6 +188,10 @@ func main() {
 	fmt.Printf("  edit distance: %d\n", stats.Levenshtein(res.Text, truth))
 	fmt.Printf("  engine stats : %+v\n", res.Stats)
 	fmt.Printf("  ioctl calls  : %d\n", sess.Device.IoctlCount())
+	if faultFile != nil {
+		fmt.Printf("  injected     : %+v (total %d)\n", faultFile.Stats, faultFile.Stats.Total())
+		fmt.Printf("  recovery     : %+v (degraded=%v)\n", res.Recovery, res.Degraded)
+	}
 
 	if tracer != nil {
 		if err := obsFlags.Write(tracer); err != nil {

@@ -1,0 +1,131 @@
+// Command chaos runs recovery-rate experiments across fault-injection
+// profiles and emits a machine-readable gpuleak-chaos/v1 JSON report:
+// for each profile, the attack's accuracy under that fault schedule plus
+// the injection and recovery accounting that explains it.
+//
+//	chaos -profiles none,mild,moderate,severe -trials 10 -seed 1 > chaos.json
+//
+// Reports are bit-identical for a fixed seed at any -workers value —
+// every trial's victim seed, credential and fault schedule derive from
+// the trial index, never from scheduling.
+//
+// With -check, chaos additionally asserts the fault plane's contracts
+// and exits non-zero on violation: the "none" profile must be
+// byte-identical to the raw library path, no trial may fail fatally
+// (faults cost accuracy, never availability), and every faulty profile
+// must actually inject and recover. CI runs this as the chaos-smoke gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"gpuleak/internal/exp"
+	"gpuleak/internal/fault"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaos: ")
+
+	profiles := flag.String("profiles", strings.Join(fault.Names(), ","),
+		"comma-separated fault profiles to run (subset of "+strings.Join(fault.Names(), ",")+")")
+	trials := flag.Int("trials", 10, "victim sessions per profile")
+	textLen := flag.Int("len", 8, "credential length")
+	seed := flag.Int64("seed", 1, "base seed for texts, victim sessions and fault schedules")
+	workers := flag.Int("workers", 0, "trial worker count (0 = one per CPU; never changes the report)")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	check := flag.Bool("check", false, "assert fault-plane contracts (baseline identity, zero fatals, recovery exercised)")
+	flag.Parse()
+
+	var ps []fault.Profile
+	for _, name := range strings.Split(*profiles, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, ok := fault.ByName(name)
+		if !ok {
+			log.Fatalf("unknown fault profile %q (have %s)", name, strings.Join(fault.Names(), ","))
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 {
+		log.Fatal("no fault profiles selected")
+	}
+
+	rep, err := exp.RunChaosProfiles(exp.Options{Seed: *seed, Workers: *workers}, ps, *trials, *textLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	for _, pr := range rep.Profiles {
+		log.Printf("%-9s rate=%.3f text_acc=%.1f%% char_acc=%.1f%% degraded=%d/%d fatal=%d injected=%d recovered(retries=%d rereserve=%d dropped=%d)",
+			pr.Profile, pr.Rate, 100*pr.TextAccuracy, 100*pr.CharAccuracy,
+			pr.Degraded, pr.Trials, pr.Fatal, pr.Injected.Total(),
+			pr.Recovery.Retries, pr.Recovery.ReReservations, pr.Recovery.DroppedTicks)
+	}
+
+	if *check {
+		if err := checkReport(rep); err != nil {
+			log.Fatalf("check failed: %v", err)
+		}
+		log.Printf("check: ok")
+	}
+}
+
+// checkReport asserts the fault plane's contracts on a finished report.
+func checkReport(rep *exp.ChaosReport) error {
+	sawNone := false
+	for _, pr := range rep.Profiles {
+		if pr.Rate == 0 {
+			sawNone = true
+			if pr.Injected.Total() != 0 || pr.Degraded != 0 {
+				return fmt.Errorf("profile %q injected %d faults / %d degraded trials; want a pure passthrough",
+					pr.Profile, pr.Injected.Total(), pr.Degraded)
+			}
+			continue
+		}
+		if pr.Fatal != 0 {
+			return fmt.Errorf("profile %q: %d/%d trials failed fatally; the retry policy must recover every predefined profile",
+				pr.Profile, pr.Fatal, pr.Trials)
+		}
+		if pr.Injected.Total() == 0 {
+			return fmt.Errorf("profile %q (rate %.3f) injected nothing; the schedule is not exercising the plane",
+				pr.Profile, pr.Rate)
+		}
+		recovered := pr.Recovery.Retries + pr.Recovery.ReReservations +
+			pr.Recovery.DroppedTicks + pr.Recovery.WrappedRetries
+		if recovered == 0 {
+			return fmt.Errorf("profile %q injected %d faults but the sampler recorded no recovery work",
+				pr.Profile, pr.Injected.Total())
+		}
+	}
+	if sawNone && !rep.BaselineMatch {
+		return fmt.Errorf("baseline mismatch: the none profile is not byte-identical to the raw library path")
+	}
+	return nil
+}

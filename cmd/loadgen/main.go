@@ -29,18 +29,20 @@ import (
 )
 
 type eavesdropRequest struct {
-	Device    string `json:"device,omitempty"`
-	App       string `json:"app,omitempty"`
-	Keyboard  string `json:"keyboard,omitempty"`
-	Text      string `json:"text"`
-	Seed      int64  `json:"seed"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Device       string `json:"device,omitempty"`
+	App          string `json:"app,omitempty"`
+	Keyboard     string `json:"keyboard,omitempty"`
+	Text         string `json:"text"`
+	Seed         int64  `json:"seed"`
+	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
+	FaultProfile string `json:"fault_profile,omitempty"`
 }
 
 type eavesdropResponse struct {
-	Text  string `json:"text"`
-	Truth string `json:"truth"`
-	Model string `json:"model"`
+	Text     string `json:"text"`
+	Truth    string `json:"truth"`
+	Model    string `json:"model"`
+	Degraded bool   `json:"degraded"`
 }
 
 // report is the gpuleak-load/v1 schema.
@@ -54,9 +56,10 @@ type report struct {
 	Sent     int `json:"sent"`
 	OK       int `json:"ok"`
 	Rejected int `json:"rejected"` // 429: shard queue full (backpressure)
-	Draining int `json:"draining"` // 503: server shutting down
+	Draining int `json:"draining"` // 503: server shutting down / sampler gave up
 	Errors   int `json:"errors"`   // transport errors + other statuses
 	Correct  int `json:"correct"`  // inferences matching ground truth
+	Degraded int `json:"degraded"` // 200s that recovered from injected faults
 
 	LatencyMS latency        `json:"latency_ms"`
 	Statuses  map[string]int `json:"statuses"`
@@ -71,9 +74,10 @@ type latency struct {
 }
 
 type outcome struct {
-	status  int // 0 = transport error
-	correct bool
-	lat     time.Duration
+	status   int // 0 = transport error
+	correct  bool
+	degraded bool
+	lat      time.Duration
 }
 
 func main() {
@@ -88,6 +92,7 @@ func main() {
 	device := flag.String("device", "", "victim device (server default when empty)")
 	app := flag.String("app", "", "target app (server default when empty)")
 	kb := flag.String("keyboard", "", "keyboard (server default when empty)")
+	faults := flag.String("faults", "", "ask the server to inject device faults from this profile (none,mild,moderate,severe)")
 	reqTimeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	smoke := flag.Bool("smoke", false, "liveness check: wait for /healthz, one eavesdrop, exit")
@@ -106,7 +111,7 @@ func main() {
 	if err := waitHealthy(client, *addr, *wait); err != nil {
 		log.Fatal(err)
 	}
-	rep := runLoad(client, *addr, *rate, *duration, *text, *seed, *device, *app, *kb)
+	rep := runLoad(client, *addr, *rate, *duration, *text, *seed, *device, *app, *kb, *faults)
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -126,14 +131,14 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("sent=%d ok=%d rejected=%d errors=%d correct=%d p50=%.0fms",
-		rep.Sent, rep.OK, rep.Rejected, rep.Errors, rep.Correct, rep.LatencyMS.P50)
+	log.Printf("sent=%d ok=%d rejected=%d errors=%d correct=%d degraded=%d p50=%.0fms",
+		rep.Sent, rep.OK, rep.Rejected, rep.Errors, rep.Correct, rep.Degraded, rep.LatencyMS.P50)
 }
 
 // runLoad fires requests open-loop at the target rate and aggregates the
 // outcomes into a report.
 func runLoad(client *http.Client, addr string, rate float64, duration time.Duration,
-	text string, seed int64, device, app, kb string) *report {
+	text string, seed int64, device, app, kb, faults string) *report {
 
 	if rate <= 0 {
 		rate = 1
@@ -162,6 +167,7 @@ func runLoad(client *http.Client, addr string, rate float64, duration time.Durat
 			o := oneRequest(client, addr, eavesdropRequest{
 				Device: device, App: app, Keyboard: kb,
 				Text: text, Seed: seed + int64(i),
+				FaultProfile: faults,
 			})
 			mu.Lock()
 			outcomes = append(outcomes, o)
@@ -189,6 +195,9 @@ func runLoad(client *http.Client, addr string, rate float64, duration time.Durat
 			lats = append(lats, float64(o.lat)/float64(time.Millisecond))
 			if o.correct {
 				rep.Correct++
+			}
+			if o.degraded {
+				rep.Degraded++
 			}
 		case o.status == http.StatusTooManyRequests:
 			rep.Rejected++
@@ -218,9 +227,10 @@ func oneRequest(client *http.Client, addr string, req eavesdropRequest) outcome 
 		return outcome{status: -1, lat: time.Since(start)}
 	}
 	return outcome{
-		status:  resp.StatusCode,
-		correct: er.Text != "" && er.Text == er.Truth,
-		lat:     time.Since(start),
+		status:   resp.StatusCode,
+		correct:  er.Text != "" && er.Text == er.Truth,
+		degraded: er.Degraded,
+		lat:      time.Since(start),
 	}
 }
 

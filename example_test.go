@@ -1,9 +1,14 @@
 package gpuleak_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	"gpuleak"
+	"gpuleak/internal/serve"
 )
 
 // The complete attack pipeline: offline training, a victim typing a
@@ -52,4 +57,56 @@ func Example_mitigated() {
 		fmt.Println("attack blocked")
 	}
 	// Output: attack blocked
+}
+
+// Injecting device faults through the fault plane: the retry policy
+// absorbs EBUSY bursts, revocations and missed ticks, the result is
+// flagged degraded instead of failing.
+func Example_faultInjection() {
+	cfg := gpuleak.VictimConfig{Device: gpuleak.OnePlus8Pro, Seed: 1}
+	model, err := gpuleak.Train(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	session := gpuleak.NewVictim(cfg)
+	session.Run(gpuleak.TypeText("hunter2", 7))
+	file, err := session.Open()
+	if err != nil {
+		panic(err)
+	}
+
+	profile, _ := gpuleak.FaultProfileByName("moderate")
+	plane := gpuleak.InjectFaults(file, profile, 5)
+
+	atk := gpuleak.NewAttack(model)
+	atk.Retry = gpuleak.DefaultRetryPolicy()
+	result, err := atk.Eavesdrop(plane, 0, session.End)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(result.Text, result.Degraded, plane.Stats.Total() > 0)
+	// Output: hunter2 true true
+}
+
+// The serving layer under injected faults: recovered runs answer 200
+// with a degraded flag and recovery accounting — faults cost accuracy,
+// never availability.
+func Example_degradedServing() {
+	srv := serve.NewServer(serve.Options{Shards: 1, TrainRepeats: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/eavesdrop", "application/json",
+		strings.NewReader(`{"text":"hunter2","seed":7,"fault_profile":"moderate"}`))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var er serve.EavesdropResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		panic(err)
+	}
+	fmt.Println(resp.StatusCode, er.Degraded, er.Recovery != nil)
+	// Output: 200 true true
 }

@@ -15,6 +15,8 @@
 //   - internal/attack — the paper's contribution: offline training,
 //     online inference (Algorithm 1), app-switch and correction handling;
 //   - internal/mitigate — §9 defenses (RBAC policies, obfuscation);
+//   - internal/fault — a deterministic fault plane for the device file
+//     (EBUSY bursts, counter revocation, missed ticks, wrapped reads);
 //   - internal/exp — one runner per paper table/figure.
 //
 // # Quick start
@@ -39,6 +41,18 @@
 // Failures match the stable taxonomy ErrUnknownExperiment, ErrBusy and
 // ErrModelNotTrained under errors.Is.
 //
+// # Fault injection & degraded mode
+//
+// InjectFaults wraps a device file in a seeded, named FaultProfile;
+// Attack.Retry (see DefaultRetryPolicy) absorbs the injected EBUSY
+// bursts, revocations and missed ticks with sim-time backoff and
+// re-reservation. Recovered runs set Result.Degraded and account for the
+// recovery work in Result.Recovery; unabsorbed failures surface as typed
+// *SampleError values classifiable with errors.As and IsRetryable. The
+// zero profile is a byte-identical passthrough, and a fixed (profile,
+// seed) replays the identical fault schedule at any worker count —
+// cmd/chaos runs recovery-rate experiments on exactly this contract.
+//
 // # Serving
 //
 // cmd/gpuleakd wraps this pipeline in an HTTP/JSON service (package
@@ -47,7 +61,10 @@
 // requests through bounded per-shard work queues that reject with 429
 // when full. Responses are byte-identical to the library path for the
 // same seed at any concurrency; cmd/loadgen drives open-loop load
-// against it. See the README's "Serving" section.
+// against it. Requests may opt into fault injection (fault_profile);
+// recovered runs answer 200 with a degraded flag rather than 5xx. See
+// the README's "Serving" section and ARCHITECTURE.md for the request
+// lifecycle.
 //
 // This code exists to let defenders study and quantify the leak; the
 // "hardware" is a simulator and the package cannot read real GPU
@@ -227,8 +244,8 @@ func GooglePatchPolicy() *mitigate.IoctlPolicy {
 	return mitigate.NewGooglePatchPolicy()
 }
 
-// Experiments exposes the paper's evaluation suite (one runner per table
-// and figure); see the exp package for the registry.
+// Experiment is one entry of the paper's evaluation suite (one runner
+// per table and figure); see the exp package for the registry.
 type Experiment = exp.Experiment
 
 // Experiments lists every reproducible table and figure.
@@ -245,6 +262,7 @@ func RunExperiment(id string, quick bool, seed int64) (*exp.Result, error) {
 // ErrUnknownExperiment under errors.Is.
 type UnknownExperimentError struct{ ID string }
 
+// Error returns the message, prefixed with the module name.
 func (e *UnknownExperimentError) Error() string {
 	return "gpuleak: unknown experiment " + e.ID
 }

@@ -11,6 +11,8 @@
 //	ioctlsize    - iowr(nr, size) sizes must match the marshalled structs
 //	obsevent     - obs event names must be package-level registrations;
 //	               Emit/Start timestamps must never derive from the wall clock
+//	doccheck     - exported symbols on the documented surface (facade,
+//	               serve, obs, fault) must carry godoc comments
 //
 // A finding can be suppressed with a trailing or preceding comment of the
 // form
@@ -143,7 +145,7 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) map[string]map[int
 
 // DefaultAnalyzers returns every check in its canonical order.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{SimTime, CounterGroup, FloatEq, LockCheck, IoctlSize, ObsEvent}
+	return []*Analyzer{SimTime, CounterGroup, FloatEq, LockCheck, IoctlSize, ObsEvent, DocCheck}
 }
 
 // Run applies the analyzers to the packages and returns the findings in

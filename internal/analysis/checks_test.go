@@ -139,3 +139,22 @@ func TestIoctlSizeFixtures(t *testing.T) {
 	checkFixture(t, IoctlSize, "ioctlsize/bad", "gpuleak/internal/szbad")
 	checkFixture(t, IoctlSize, "ioctlsize/good", "gpuleak/internal/szgood")
 }
+
+func TestDocCheckFixtures(t *testing.T) {
+	// The fixture paths reuse real documented-surface package paths so the
+	// scope filter admits them.
+	checkFixture(t, DocCheck, "doccheck/bad", "gpuleak/internal/serve")
+	checkFixture(t, DocCheck, "doccheck/good", "gpuleak/internal/fault")
+}
+
+func TestDocCheckScope(t *testing.T) {
+	if !DocCheck.Applies("gpuleak") {
+		t.Error("doccheck must apply to the facade package")
+	}
+	if DocCheck.Applies("gpuleak/internal/attack") {
+		t.Error("doccheck is scoped to the documented surface, not every internal package")
+	}
+	if DocCheck.Applies("gpuleak/cmd/attackd") {
+		t.Error("doccheck must not apply to commands (package main has no API surface)")
+	}
+}

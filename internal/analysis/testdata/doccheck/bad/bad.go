@@ -1,0 +1,35 @@
+// This comment is separated from the package clause by a blank line, so
+// it is NOT a package comment and the package clause must be reported.
+// Lines marked WANT must be reported.
+
+package dcbad // WANT
+
+// Runs the thing, but does not start with the symbol name. // WANT
+func Exported() {}
+
+func Undocumented() {} // WANT
+
+// Documented is fine.
+func Documented() {}
+
+type Widget struct{} // WANT
+
+// The comment starts with an article but the wrong word. // WANT
+type Gadget struct{}
+
+// Gizmo is documented; its exported method below is not.
+type Gizmo struct{}
+
+func (Gizmo) Poke() {} // WANT
+
+// internal helpers need no docs.
+func helper() {}
+
+type sprocket struct{}
+
+// Spin is reachable only through the unexported sprocket: skipped.
+func (sprocket) Spin() {}
+
+var Loose = 1 // WANT
+
+const Solo = 2 // WANT

@@ -1,0 +1,29 @@
+// Package dcgood exercises every documented shape doccheck must accept:
+// package comments, name-first function docs, article-prefixed type docs,
+// block-documented const/var groups and trailing spec comments.
+package dcgood
+
+// Exported does its one job.
+func Exported() {}
+
+// A Widget is a thing; the leading article is idiomatic for types.
+type Widget struct{}
+
+// Poke pokes the widget.
+func (Widget) Poke() {}
+
+// Tunables for the fixture; one block comment covers every name.
+var (
+	Loose = 1
+	Tight = 2
+)
+
+const (
+	// Alpha is documented per spec.
+	Alpha = iota
+	Beta  // Beta rides on a trailing comment.
+	gamma
+)
+
+// quiet is unexported: no doc required.
+func quiet() {}

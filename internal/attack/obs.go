@@ -16,6 +16,15 @@ var (
 	evSamplerCollect = obs.NewName("sampler.collect")
 	// evSamplerReadError marks a failed counter read; field: err.
 	evSamplerReadError = obs.NewName("sampler.read_error")
+	// evSamplerRetry marks a sim-time backoff retry of a transient read
+	// failure; fields: attempt, err. Emitted only when faults fire.
+	evSamplerRetry = obs.NewName("sampler.retry")
+	// evSamplerRereserve marks a successful counter re-reservation after a
+	// mid-session revocation; field: attempt. Emitted only when faults fire.
+	evSamplerRereserve = obs.NewName("sampler.rereserve")
+	// evSamplerGap marks a polling tick abandoned to a fault; field:
+	// reason (tick_dropped|retry_exhausted). Emitted only when faults fire.
+	evSamplerGap = obs.NewName("sampler.gap")
 	// evVerdict is one Algorithm-1 decision per processed delta; fields:
 	// disp (key/duplicate/split_key/split_noise/noise/pending/accumulate/
 	// suppressed/switch_burst), delta, and for keys rune/dist/margin.
@@ -85,4 +94,13 @@ func RecordEngineStats(m *obs.Metrics, s EngineStats) {
 	m.Add("engine.corrections", int64(s.Corrections))
 	m.Add("engine.switches", int64(s.Switches))
 	m.Add("engine.residual", int64(s.Residual()))
+	// Gap counters only exist in degraded runs; registering them lazily
+	// keeps faultless metric snapshots byte-identical to the pre-fault
+	// schema.
+	if s.Gaps > 0 {
+		m.Add("engine.gaps", int64(s.Gaps))
+	}
+	if s.Resyncs > 0 {
+		m.Add("engine.resyncs", int64(s.Resyncs))
+	}
 }

@@ -33,11 +33,23 @@ type OnlineOptions struct {
 	BurstGap sim.Time
 	BurstLen int
 
+	// GapTolerance flags a delta whose sampling gap exceeds it (late or
+	// singly-dropped ticks): pending split fragments are discarded because
+	// the delta may aggregate unrelated events, but classification still
+	// runs. Defaults to 1.5 polling intervals, which no fault-free trace
+	// exceeds. ResyncGap abandons inference across the gap entirely
+	// (abandon-and-resync): the aggregated delta is untrustworthy, so the
+	// engine clears its short-term state and waits for fresh evidence.
+	// Defaults to 4 polling intervals.
+	GapTolerance sim.Time
+	ResyncGap    sim.Time
+
 	// Ablation switches.
 	DisableDedup        bool
 	DisableSplitCombine bool
 	DisableSwitchDetect bool
 	DisableCorrections  bool
+	DisableGapHandling  bool
 }
 
 func (o OnlineOptions) withDefaults(interval sim.Time) OnlineOptions {
@@ -56,6 +68,18 @@ func (o OnlineOptions) withDefaults(interval sim.Time) OnlineOptions {
 	if o.BurstLen == 0 {
 		o.BurstLen = 5
 	}
+	if o.GapTolerance == 0 {
+		if interval <= 0 {
+			interval = DefaultInterval
+		}
+		o.GapTolerance = interval*3/2 + sim.Millisecond
+	}
+	if o.ResyncGap == 0 {
+		if interval <= 0 {
+			interval = DefaultInterval
+		}
+		o.ResyncGap = 4 * interval
+	}
 	return o
 }
 
@@ -72,6 +96,8 @@ type EngineStats struct {
 	Unknown     int // deltas that entered the pending buffer
 	Corrections int
 	Switches    int
+	Gaps        int // deltas flagged for a tolerable sampling gap
+	Resyncs     int // deltas abandoned across an intolerable sampling gap
 }
 
 // Residual returns the changes that stayed unexplained after split
@@ -141,6 +167,31 @@ func (e *Engine) ProcessAll(ds []trace.Delta) {
 // extensions).
 func (e *Engine) Process(d trace.Delta) {
 	e.stats.Deltas++
+
+	// --- Gap-aware segmentation ----------------------------------------
+	// A delta spanning more than one polling interval means the sampler
+	// lost ticks to faults; the change is the sum of everything that
+	// happened in the gap. Across an intolerable gap the aggregate is
+	// untrustworthy: abandon it and resync — clear split fragments and the
+	// burst run, keep already-inferred keys. A merely tolerable gap still
+	// invalidates pending fragments (the halves may not belong together)
+	// but the delta itself is classified normally. Fault-free traces have
+	// Gap == interval, so neither branch ever fires on them.
+	if !e.opts.DisableGapHandling && d.Gap > 0 {
+		if d.Gap >= e.opts.ResyncGap {
+			e.stats.Resyncs++
+			e.pending = nil
+			e.runLen = 0
+			e.haveBig = false
+			e.emitVerdict(d, Verdict{}, "gap_resync")
+			return
+		}
+		if d.Gap > e.opts.GapTolerance {
+			e.stats.Gaps++
+			e.pending = nil
+		}
+	}
+
 	v := e.model.ClassifyDenoised(d.V)
 
 	// --- §5.2 app-switch detection ------------------------------------

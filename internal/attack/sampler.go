@@ -2,6 +2,7 @@ package attack
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"gpuleak/internal/adreno"
@@ -15,34 +16,72 @@ import (
 // selected GPU PCs are read every 8 ms).
 const DefaultInterval = 8 * sim.Millisecond
 
+// ErrWrappedRead marks a counter read whose value regressed below the
+// previous sample — the signature of a saturated/wrapped 32-bit register.
+// It is transient (a re-read returns the full-width value), so Retryable
+// reports it retryable.
+var ErrWrappedRead = errors.New("attack: wrapped counter read (value regressed)")
+
 // Sampler periodically block-reads the 11 selected counters through the
 // KGSL device file, exactly as the paper's monitoring service does (§4,
 // Figure 10). The polling interval should be at most half the screen
 // refresh interval so every frame is covered by at least one reading.
+//
+// With the zero-value Retry policy any device error aborts the
+// collection; with a policy enabled the sampler retries transient errors
+// with sim-time exponential backoff inside the tick budget,
+// re-reserves revoked counters, and converts exhausted ticks into trace
+// gaps — recovery work it accounts in Stats. The retry clock is
+// simulated time only, so retried runs replay bit-identically.
 type Sampler struct {
-	File     *kgsl.File
+	File     DeviceFile
 	Interval sim.Time
+	// Retry bounds recovery from transient device errors. The zero value
+	// disables retrying (any error is fatal).
+	Retry RetryPolicy
+	// Stats reports the recovery work of the most recent collection; it
+	// is reset at the start of every Collect/CollectContext.
+	Stats CollectStats
 	// Obs, when non-nil, records a sampler.collect span per polling loop
 	// plus read-error events, and counts polls in the metrics registry.
+	// Retry and gap events are emitted only when faults actually fire.
 	Obs *obs.Tracer
 }
 
 // NewSampler reserves the selected counters on the device file and
 // returns a sampler. A reservation failure (e.g. an RBAC mitigation
-// denying PERFCOUNTER_GET) is reported to the caller.
-func NewSampler(f *kgsl.File, interval sim.Time) (*Sampler, error) {
+// denying PERFCOUNTER_GET) is reported as a *SampleError wrapping the
+// driver sentinel.
+func NewSampler(f DeviceFile, interval sim.Time) (*Sampler, error) {
+	return NewSamplerRetry(f, interval, RetryPolicy{})
+}
+
+// NewSamplerRetry is NewSampler with a retry policy: the initial
+// reservation itself is retried with sim-time backoff (a fault plane can
+// make even PERFCOUNTER_GET fail transiently), and the policy governs
+// every subsequent collection.
+func NewSamplerRetry(f DeviceFile, interval sim.Time, policy RetryPolicy) (*Sampler, error) {
 	if interval <= 0 {
 		interval = DefaultInterval
 	}
-	if err := f.ReserveSelected(0); err != nil {
-		return nil, fmt.Errorf("attack: reserving counters: %w", err)
+	at := sim.Time(0)
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = f.ReserveSelected(at)
+		if err == nil {
+			break
+		}
+		if !policy.Enabled() || !Retryable(err) || attempt+1 >= policy.MaxAttempts {
+			return nil, &SampleError{At: at, Op: "reserve", Attempts: attempt + 1, Err: err}
+		}
+		at += policy.BackoffAt(attempt)
 	}
-	return &Sampler{File: f, Interval: interval}, nil
+	return &Sampler{File: f, Interval: interval, Retry: policy}, nil
 }
 
 // Collect polls the counters over [start, end] and returns the trace.
-// Individual read errors abort collection — on a mitigated device the
-// attack fails here.
+// Device errors abort the collection unless the Retry policy recovers
+// them — on a mitigated device the attack fails here.
 func (s *Sampler) Collect(start, end sim.Time) (*trace.Trace, error) {
 	return s.CollectContext(context.Background(), start, end)
 }
@@ -53,9 +92,14 @@ func (s *Sampler) Collect(start, end sim.Time) (*trace.Trace, error) {
 // a sweep it no longer needs.
 func (s *Sampler) CollectContext(ctx context.Context, start, end sim.Time) (*trace.Trace, error) {
 	sp := s.Obs.Start(start, evSamplerCollect, obs.Int("interval_us", int(s.Interval)))
+	s.Stats = CollectStats{}
 	tr := &trace.Trace{Interval: s.Interval}
+	tf, hasTF := s.File.(TickFaults)
+	var prev [adreno.NumSelected]uint64
+	havePrev := false
+	badTicks := 0
 	t := start
-	for ; t <= end; t += s.Interval {
+	for tick := 0; t <= end; t, tick = t+s.Interval, tick+1 {
 		if err := ctx.Err(); err != nil {
 			if s.Obs != nil {
 				s.Obs.Emit(t, evSamplerReadError, obs.Str("err", err.Error()))
@@ -64,26 +108,145 @@ func (s *Sampler) CollectContext(ctx context.Context, start, end sim.Time) (*tra
 			}
 			return nil, fmt.Errorf("attack: sampling canceled at %v: %w", t, err)
 		}
-		vals, err := s.File.ReadSelected(t)
-		if err != nil {
-			if s.Obs != nil {
-				s.Obs.Emit(t, evSamplerReadError, obs.Str("err", err.Error()))
-				sp.AddField(obs.Int("samples", tr.Len()))
-				sp.End(t)
+		s.Stats.Ticks++
+		readAt := t
+		if hasTF {
+			delay, drop := tf.TickFault(tick, t)
+			if drop {
+				s.Stats.DroppedTicks++
+				s.emitGap(t, "tick_dropped")
+				continue
 			}
-			return nil, fmt.Errorf("attack: reading counters at %v: %w", t, err)
+			if delay > 0 {
+				readAt = t + delay
+				if readAt >= t+s.Interval {
+					readAt = t + s.Interval - 1
+				}
+			}
 		}
+		vals, at, serr := s.readTick(readAt, t+s.Interval, prev, havePrev)
+		if serr != nil {
+			if !s.Retry.Enabled() || !serr.Retryable() {
+				if s.Obs != nil {
+					s.Obs.Emit(at, evSamplerReadError, obs.Str("err", serr.Err.Error()))
+					sp.AddField(obs.Int("samples", tr.Len()))
+					sp.End(at)
+				}
+				return nil, serr
+			}
+			s.Stats.DroppedTicks++
+			badTicks++
+			s.emitGap(at, "retry_exhausted")
+			if s.Retry.MaxBadTicks > 0 && badTicks > s.Retry.MaxBadTicks {
+				if s.Obs != nil {
+					s.Obs.Emit(at, evSamplerReadError, obs.Str("err", serr.Err.Error()))
+					sp.AddField(obs.Int("samples", tr.Len()))
+					sp.End(at)
+				}
+				return nil, fmt.Errorf("attack: %d consecutive failed ticks: %w", badTicks, serr)
+			}
+			continue
+		}
+		badTicks = 0
+		prev = vals
+		havePrev = true
 		var sm trace.Sample
-		sm.At = t
+		sm.At = at
 		copy(sm.Values[:], vals[:])
 		tr.Append(sm)
 	}
 	if s.Obs != nil {
 		s.Obs.Metrics().Add("sampler.reads", int64(tr.Len()))
+		if s.Stats.Retries > 0 {
+			s.Obs.Metrics().Add("sampler.retries", int64(s.Stats.Retries))
+		}
+		if s.Stats.ReReservations > 0 {
+			s.Obs.Metrics().Add("sampler.rereservations", int64(s.Stats.ReReservations))
+		}
+		if s.Stats.DroppedTicks > 0 {
+			s.Obs.Metrics().Add("sampler.dropped_ticks", int64(s.Stats.DroppedTicks))
+		}
 		sp.AddField(obs.Int("samples", tr.Len()))
 		sp.End(t - s.Interval)
 	}
 	return tr, nil
+}
+
+// readTick performs one poll at readAt with bounded retry inside the
+// tick budget [readAt, deadline). On success the returned time is when
+// the read actually landed (after any backoff). On failure it returns a
+// *SampleError carrying the last driver error; the caller classifies it
+// as a droppable gap (retryable, policy enabled) or fatal.
+func (s *Sampler) readTick(readAt, deadline sim.Time, prev [adreno.NumSelected]uint64, havePrev bool) ([adreno.NumSelected]uint64, sim.Time, *SampleError) {
+	var zero [adreno.NumSelected]uint64
+	tryAt := readAt
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// Transient failure: back off within the tick, give the driver
+			// sim-time to clear, and retry.
+			wait := s.Retry.BackoffAt(attempt - 1)
+			next := tryAt + wait
+			if attempt >= s.Retry.MaxAttempts || next >= deadline {
+				return zero, tryAt, &SampleError{At: tryAt, Op: "read", Attempts: attempt, Err: lastErr}
+			}
+			tryAt = next
+			s.Stats.Retries++
+			if s.Obs != nil {
+				s.Obs.Emit(tryAt, evSamplerRetry,
+					obs.Int("attempt", attempt), obs.Str("err", lastErr.Error()))
+			}
+			if errors.Is(lastErr, kgsl.ErrNotReserved) {
+				// The counter group was revoked mid-session (another process
+				// issued PERFCOUNTER_PUT/GET); re-reserve before re-reading.
+				if rerr := s.File.ReserveSelected(tryAt); rerr != nil {
+					if !Retryable(rerr) {
+						return zero, tryAt, &SampleError{At: tryAt, Op: "reserve", Attempts: attempt, Err: rerr}
+					}
+					lastErr = rerr
+					continue
+				}
+				s.Stats.ReReservations++
+				if s.Obs != nil {
+					s.Obs.Emit(tryAt, evSamplerRereserve, obs.Int("attempt", attempt))
+				}
+			}
+		}
+		vals, err := s.File.ReadSelected(tryAt)
+		if err != nil {
+			if !s.Retry.Enabled() || !Retryable(err) {
+				return zero, tryAt, &SampleError{At: tryAt, Op: "read", Attempts: attempt + 1, Err: err}
+			}
+			lastErr = err
+			continue
+		}
+		if s.Retry.WrapCheck && havePrev && regressed(vals, prev) {
+			// Cumulative counters never decrease; a regression is a
+			// truncated register read. Re-read rather than poison the delta.
+			s.Stats.WrappedRetries++
+			lastErr = ErrWrappedRead
+			continue
+		}
+		return vals, tryAt, nil
+	}
+}
+
+// regressed reports whether any counter value moved backwards between
+// consecutive reads.
+func regressed(cur, prev [adreno.NumSelected]uint64) bool {
+	for i := range cur {
+		if cur[i] < prev[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Sampler) emitGap(t sim.Time, reason string) {
+	if s.Obs == nil {
+		return
+	}
+	s.Obs.Emit(t, evSamplerGap, obs.Str("reason", reason))
 }
 
 // VecOf converts a raw counter array into a feature vector.

@@ -282,6 +282,8 @@ func accumulate(dst *attack.EngineStats, s attack.EngineStats) {
 	dst.Unknown += s.Unknown
 	dst.Corrections += s.Corrections
 	dst.Switches += s.Switches
+	dst.Gaps += s.Gaps
+	dst.Resyncs += s.Resyncs
 }
 
 // GroupAccuracies computes per-character-group accuracy (Fig 17c/21c)

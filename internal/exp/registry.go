@@ -54,6 +54,7 @@ var All = []Experiment{
 	{"ablation-counters", "counter groups differ sharply; LRZ carries the most signal", RunAblationCounterSet},
 	{"ablation-corrections", "correction tracking recovers backspaced credentials", RunAblationCorrections},
 	{"ablation-greedy", "whole-trace segmentation trades timeliness for accuracy (§5.1)", RunAblationGreedyVsOffline},
+	{"chaos", "injected device faults degrade accuracy monotonically, never availability", RunChaos},
 }
 
 // ByID finds an experiment.

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gpuleak/internal/fault"
+)
+
+// TestChaosReportDeterministicAcrossWorkers pins the replay contract the
+// chaos harness exists to demonstrate: one seed, one report — bit for
+// bit — no matter how the trials are scheduled across workers.
+func TestChaosReportDeterministicAcrossWorkers(t *testing.T) {
+	profiles := []fault.Profile{fault.None, fault.Moderate}
+	run := func(workers int) []byte {
+		rep, err := RunChaosProfiles(Options{Seed: 11, Workers: workers}, profiles, 3, 6)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("chaos report differs across worker counts:\n%s\nvs\n%s", serial, parallel)
+	}
+
+	var rep ChaosReport
+	if err := json.Unmarshal(serial, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ChaosSchema {
+		t.Errorf("schema %q, want %q", rep.Schema, ChaosSchema)
+	}
+	if !rep.BaselineMatch {
+		t.Error("none-profile trials diverged from the raw library path")
+	}
+	for _, pr := range rep.Profiles {
+		if pr.Fatal != 0 {
+			t.Errorf("profile %q: %d fatal trials under the default retry policy", pr.Profile, pr.Fatal)
+		}
+		if pr.Rate > 0 && pr.Injected.Total() == 0 {
+			t.Errorf("profile %q injected nothing", pr.Profile)
+		}
+	}
+}
+
+// TestChaosAccuracyDegradesMonotonically is the robustness property the
+// paper's pipeline should satisfy: harsher fault schedules cost accuracy
+// gradually (degraded results, with gaps flagged), never availability.
+// The predefined profiles are tuned to be fully absorbed, so this uses
+// escalating tick-loss profiles harsh enough to actually lose key
+// presses.
+func TestChaosAccuracyDegradesMonotonically(t *testing.T) {
+	profiles := []fault.Profile{
+		{Name: "drop10", PDropTick: 0.10},
+		{Name: "drop30", PDropTick: 0.30},
+		{Name: "drop60", PDropTick: 0.60},
+	}
+	rep, err := RunChaosProfiles(Options{Seed: 3, Workers: 0}, profiles, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The accuracy ceiling is a clean run; the floor is losing more than
+	// half the samples. Adjacent steps may tie on small trial counts, so
+	// the property is non-strict per step and strict end to end.
+	const tolerance = 0.05
+	for i := 1; i < len(rep.Profiles); i++ {
+		prev, cur := rep.Profiles[i-1], rep.Profiles[i]
+		if cur.CharAccuracy > prev.CharAccuracy+tolerance {
+			t.Errorf("char accuracy rose with severity: %s=%.3f -> %s=%.3f",
+				prev.Profile, prev.CharAccuracy, cur.Profile, cur.CharAccuracy)
+		}
+	}
+	first, last := rep.Profiles[0], rep.Profiles[len(rep.Profiles)-1]
+	if last.CharAccuracy >= first.CharAccuracy {
+		t.Errorf("dropping 60%% of ticks (%.3f) did not degrade accuracy below 10%% loss (%.3f)",
+			last.CharAccuracy, first.CharAccuracy)
+	}
+	for _, pr := range rep.Profiles {
+		if pr.Fatal != 0 {
+			t.Errorf("profile %q: %d fatal trials — tick loss must degrade, not kill", pr.Profile, pr.Fatal)
+		}
+		if pr.Degraded != pr.Trials {
+			t.Errorf("profile %q: only %d/%d trials flagged degraded", pr.Profile, pr.Degraded, pr.Trials)
+		}
+		if pr.Gaps+pr.Resyncs == 0 {
+			t.Errorf("profile %q: heavy tick loss produced no engine gap verdicts", pr.Profile)
+		}
+	}
+}

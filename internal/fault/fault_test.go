@@ -1,0 +1,274 @@
+package fault_test
+
+import (
+	"errors"
+	"testing"
+
+	"gpuleak/internal/adreno"
+	"gpuleak/internal/fault"
+	"gpuleak/internal/kgsl"
+	"gpuleak/internal/sim"
+)
+
+// stubDevice is a deterministic Device: counters advance by a fixed
+// stride per read, so two stubs driven identically produce identical
+// values and any divergence is the fault plane's doing.
+type stubDevice struct {
+	ioctls, reserves, reads int
+	val                     uint64
+	stride                  uint64
+}
+
+func (d *stubDevice) Ioctl(t sim.Time, request uint32, arg any) error {
+	d.ioctls++
+	return nil
+}
+
+func (d *stubDevice) ReserveSelected(t sim.Time) error {
+	d.reserves++
+	return nil
+}
+
+func (d *stubDevice) ReadSelected(t sim.Time) ([adreno.NumSelected]uint64, error) {
+	d.reads++
+	var v [adreno.NumSelected]uint64
+	for i := range v {
+		d.val += d.stride
+		v[i] = d.val
+	}
+	return v, nil
+}
+
+func TestProfileRegistry(t *testing.T) {
+	names := fault.Names()
+	if len(names) != len(fault.Profiles()) {
+		t.Fatalf("Names() has %d entries, Profiles() has %d", len(names), len(fault.Profiles()))
+	}
+	for _, name := range names {
+		p, ok := fault.ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) not found though listed", name)
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, ok := fault.ByName("catastrophic"); ok {
+		t.Error("ByName accepted an unknown profile")
+	}
+	// Profiles are published in severity order, None first.
+	ps := fault.Profiles()
+	if !ps[0].IsZero() {
+		t.Errorf("first profile %q is not the zero profile", ps[0].Name)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Rate() < ps[i-1].Rate() {
+			t.Errorf("profile %q (rate %.3f) is listed after %q (rate %.3f)",
+				ps[i].Name, ps[i].Rate(), ps[i-1].Name, ps[i-1].Rate())
+		}
+	}
+}
+
+func TestSeedDerivation(t *testing.T) {
+	if fault.Seed(1, 2) != fault.Seed(1, 2) {
+		t.Error("Seed is not a pure function")
+	}
+	if fault.Seed(1, 2) == fault.Seed(1, 3) {
+		t.Error("Seed does not separate scenarios")
+	}
+	if fault.Seed(1, 2) == fault.Seed(2, 2) {
+		t.Error("Seed does not separate base seeds")
+	}
+}
+
+// TestNonePassthrough pins the fault plane's byte-identity contract: a
+// zero profile forwards every operation untouched, injects nothing, and
+// never perturbs tick timing.
+func TestNonePassthrough(t *testing.T) {
+	raw := &stubDevice{stride: 7}
+	wrapped := &stubDevice{stride: 7}
+	f := fault.NewFile(wrapped, fault.None, 12345)
+
+	for i := 0; i < 200; i++ {
+		at := sim.Time(i) * sim.Millisecond
+		if err := f.Ioctl(at, kgsl.IoctlPerfcounterRead, nil); err != nil {
+			t.Fatalf("ioctl %d: %v", i, err)
+		}
+		_ = raw.Ioctl(at, kgsl.IoctlPerfcounterRead, nil)
+		if err := f.ReserveSelected(at); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+		_ = raw.ReserveSelected(at)
+		got, err := f.ReadSelected(at)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		want, _ := raw.ReadSelected(at)
+		if got != want {
+			t.Fatalf("read %d: wrapped %v, raw %v", i, got, want)
+		}
+		if delay, drop := f.TickFault(i, at); delay != 0 || drop {
+			t.Fatalf("tick %d: delay=%v drop=%v from a zero profile", i, delay, drop)
+		}
+	}
+	if total := f.Stats.Total(); total != 0 {
+		t.Fatalf("zero profile injected %d faults: %+v", total, f.Stats)
+	}
+}
+
+func TestBusyBurst(t *testing.T) {
+	dev := &stubDevice{stride: 1}
+	f := fault.NewFile(dev, fault.Profile{PBusy: 1, BusyBurst: 3}, 1)
+	for i := 0; i < 4; i++ {
+		if _, err := f.ReadSelected(0); !errors.Is(err, kgsl.ErrBusy) {
+			t.Fatalf("read %d: %v, want ErrBusy", i, err)
+		}
+	}
+	if dev.reads != 0 {
+		t.Fatalf("busy reads reached the device %d times", dev.reads)
+	}
+	if f.Stats.Busy != 4 {
+		t.Fatalf("Stats.Busy = %d, want 4", f.Stats.Busy)
+	}
+}
+
+// TestRevocationStateMachine pins the counter-revocation model: a revoked
+// reservation fails every read (and PERFCOUNTER_READ ioctl) with
+// ErrNotReserved, without consuming new revocation draws, until a
+// successful ReserveSelected clears it.
+func TestRevocationStateMachine(t *testing.T) {
+	dev := &stubDevice{stride: 1}
+	f := fault.NewFile(dev, fault.Profile{PRevoke: 1}, 1)
+
+	if _, err := f.ReadSelected(0); !errors.Is(err, kgsl.ErrNotReserved) {
+		t.Fatalf("first read: %v, want ErrNotReserved", err)
+	}
+	if f.Stats.Revocations != 1 {
+		t.Fatalf("Revocations = %d after first read, want 1", f.Stats.Revocations)
+	}
+	// The revocation persists without a fresh draw.
+	if _, err := f.ReadSelected(1); !errors.Is(err, kgsl.ErrNotReserved) {
+		t.Fatalf("second read: %v, want ErrNotReserved", err)
+	}
+	if f.Stats.Revocations != 1 {
+		t.Fatalf("Revocations = %d while revoked, want still 1", f.Stats.Revocations)
+	}
+	if err := f.Ioctl(2, kgsl.IoctlPerfcounterRead, nil); !errors.Is(err, kgsl.ErrNotReserved) {
+		t.Fatalf("revoked PERFCOUNTER_READ ioctl: %v, want ErrNotReserved", err)
+	}
+	if dev.reads != 0 || dev.ioctls != 0 {
+		t.Fatalf("revoked operations reached the device (reads=%d ioctls=%d)", dev.reads, dev.ioctls)
+	}
+	// Re-reservation clears the revocation; with PRevoke=1 the next read
+	// draws a fresh one, proving the draw resumes only after recovery.
+	if err := f.ReserveSelected(3); err != nil {
+		t.Fatalf("re-reserve: %v", err)
+	}
+	if _, err := f.ReadSelected(4); !errors.Is(err, kgsl.ErrNotReserved) {
+		t.Fatalf("read after re-reserve: %v, want a fresh revocation", err)
+	}
+	if f.Stats.Revocations != 2 {
+		t.Fatalf("Revocations = %d after re-reserve, want 2", f.Stats.Revocations)
+	}
+}
+
+func TestWrapTruncatesOneCounter(t *testing.T) {
+	dev := &stubDevice{stride: 1, val: 1 << 40}
+	raw := &stubDevice{stride: 1, val: 1 << 40}
+	f := fault.NewFile(dev, fault.Profile{PWrap: 1}, 1)
+
+	got, err := f.ReadSelected(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := raw.ReadSelected(0)
+	truncated := 0
+	for i := range got {
+		switch got[i] {
+		case want[i]:
+		case want[i] & 0xffffffff:
+			truncated++
+		default:
+			t.Fatalf("counter %d: %#x is neither original %#x nor its low 32 bits", i, got[i], want[i])
+		}
+	}
+	if truncated != 1 {
+		t.Fatalf("%d counters truncated, want exactly 1", truncated)
+	}
+	if f.Stats.Wraps != 1 {
+		t.Fatalf("Stats.Wraps = %d, want 1", f.Stats.Wraps)
+	}
+}
+
+func TestTransientClosureBurst(t *testing.T) {
+	dev := &stubDevice{stride: 1}
+	f := fault.NewFile(dev, fault.Profile{PClose: 1, CloseOps: 3}, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := f.ReadSelected(0); !errors.Is(err, kgsl.ErrClosed) {
+			t.Fatalf("op %d: %v, want ErrClosed", i, err)
+		}
+	}
+	if f.Stats.Closures != 1 {
+		t.Fatalf("Closures = %d after one 3-op closure, want 1", f.Stats.Closures)
+	}
+}
+
+func TestTickFaults(t *testing.T) {
+	f := fault.NewFile(&stubDevice{stride: 1}, fault.Profile{PDropTick: 1}, 1)
+	if delay, drop := f.TickFault(0, 0); !drop || delay != 0 {
+		t.Fatalf("PDropTick=1: delay=%v drop=%v, want pure drop", delay, drop)
+	}
+	if f.Stats.DroppedTicks != 1 {
+		t.Fatalf("DroppedTicks = %d, want 1", f.Stats.DroppedTicks)
+	}
+
+	lateMax := 2 * sim.Millisecond
+	f = fault.NewFile(&stubDevice{stride: 1}, fault.Profile{PLateTick: 1, LateMax: lateMax}, 1)
+	for i := 0; i < 50; i++ {
+		delay, drop := f.TickFault(i, 0)
+		if drop {
+			t.Fatalf("tick %d dropped by a late-only profile", i)
+		}
+		if delay <= 0 || delay > lateMax {
+			t.Fatalf("tick %d: delay %v outside (0, %v]", i, delay, lateMax)
+		}
+	}
+	if f.Stats.LateTicks != 50 {
+		t.Fatalf("LateTicks = %d, want 50", f.Stats.LateTicks)
+	}
+}
+
+// TestInjectionDeterminism pins the replay contract: the same (profile,
+// seed) over the same call sequence injects the identical schedule.
+func TestInjectionDeterminism(t *testing.T) {
+	run := func(seed int64) (fault.InjectedStats, []error) {
+		f := fault.NewFile(&stubDevice{stride: 3}, fault.Moderate, seed)
+		var errs []error
+		for i := 0; i < 500; i++ {
+			at := sim.Time(i) * sim.Millisecond
+			f.TickFault(i, at)
+			_, err := f.ReadSelected(at)
+			if errors.Is(err, kgsl.ErrNotReserved) {
+				errs = append(errs, err)
+				_ = f.ReserveSelected(at)
+				continue
+			}
+			errs = append(errs, err)
+		}
+		return f.Stats, errs
+	}
+
+	s1, e1 := run(42)
+	s2, e2 := run(42)
+	if s1 != s2 {
+		t.Fatalf("same seed, different injections:\n%+v\n%+v", s1, s2)
+	}
+	for i := range e1 {
+		if !errors.Is(e1[i], e2[i]) && !(e1[i] == nil && e2[i] == nil) {
+			t.Fatalf("call %d: error %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if s1.Total() == 0 {
+		t.Fatal("moderate profile injected nothing over 500 operations")
+	}
+}

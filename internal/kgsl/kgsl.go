@@ -120,8 +120,12 @@ type Obfuscator interface {
 }
 
 // Errors returned by the simulated driver, mirroring kernel errnos.
+// ErrBusy, ErrInval (when transient), ErrNotReserved and ErrClosed are the
+// retryable family the fault plane (internal/fault) injects and the
+// sampler's retry policy recovers from; the rest are terminal.
 var (
 	ErrPerm         = errors.New("kgsl: EPERM: operation not permitted")
+	ErrBusy         = errors.New("kgsl: EBUSY: device or counter busy")
 	ErrInval        = errors.New("kgsl: EINVAL: invalid argument")
 	ErrNoEnt        = errors.New("kgsl: ENOENT: no such counter")
 	ErrNotReserved  = errors.New("kgsl: EINVAL: counter not reserved (call PERFCOUNTER_GET first)")
@@ -190,6 +194,8 @@ func errMetricName(err error) string {
 		return "kgsl.err.not_reserved"
 	case errors.Is(err, ErrPerm):
 		return "kgsl.err.perm"
+	case errors.Is(err, ErrBusy):
+		return "kgsl.err.busy"
 	case errors.Is(err, ErrInval):
 		return "kgsl.err.inval"
 	case errors.Is(err, ErrNoEnt):

@@ -22,6 +22,7 @@ import (
 
 	"gpuleak/internal/android"
 	"gpuleak/internal/attack"
+	"gpuleak/internal/fault"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
 	"gpuleak/internal/sim"
@@ -54,6 +55,15 @@ type EavesdropRequest struct {
 	// TimeoutMS caps this request's deadline. The server's own request
 	// timeout still applies; the effective deadline is the smaller.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// FaultProfile names a predefined fault-injection profile
+	// (none|mild|moderate|severe) to run the request under; empty disables
+	// the fault plane entirely. With a profile set, the sampler runs with
+	// the default retry policy and a partially recovered run is answered
+	// 200 with "degraded":true instead of a 5xx.
+	FaultProfile string `json:"fault_profile,omitempty"`
+	// FaultSeed seeds the fault schedule; 0 derives it from Seed, so the
+	// same request always faces the same bit-identical schedule.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
 }
 
 // EavesdropResponse is the result of one served eavesdropping run.
@@ -71,6 +81,14 @@ type EavesdropResponse struct {
 	EstimatedLength int `json:"estimated_length"`
 	// Stats is the online engine's bookkeeping.
 	Stats attack.EngineStats `json:"stats"`
+	// Degraded reports that the run recovered from injected or real device
+	// faults and the result is partial-confidence. Omitted (false) on
+	// clean runs, so fault-free responses are byte-identical to the
+	// pre-fault-plane wire format.
+	Degraded bool `json:"degraded,omitempty"`
+	// Recovery details the sampler's recovery work; present only on
+	// degraded responses.
+	Recovery *attack.CollectStats `json:"recovery,omitempty"`
 }
 
 // TrainRequest is the body of POST /v1/train: warm the registry for a
@@ -140,6 +158,10 @@ type Scenario struct {
 	Text      string
 	Volunteer int
 	Practical bool
+	// Fault is the resolved fault-injection profile (zero: no fault
+	// plane) and FaultSeed its schedule seed.
+	Fault     fault.Profile
+	FaultSeed int64
 }
 
 // ResolveScenario validates an EavesdropRequest against the device, app
@@ -180,7 +202,20 @@ func ResolveScenario(req EavesdropRequest) (Scenario, error) {
 		return Scenario{}, fmt.Errorf("%w: unknown keyboard %q", ErrBadRequest, req.Keyboard)
 	}
 	cfg.Keyboard = l
-	return Scenario{Cfg: cfg, Text: req.Text, Volunteer: req.Volunteer, Practical: req.Practical}, nil
+	scen := Scenario{Cfg: cfg, Text: req.Text, Volunteer: req.Volunteer, Practical: req.Practical}
+	if req.FaultProfile != "" {
+		p, ok := fault.ByName(req.FaultProfile)
+		if !ok {
+			return Scenario{}, fmt.Errorf("%w: unknown fault profile %q (have %v)",
+				ErrBadRequest, req.FaultProfile, fault.Names())
+		}
+		scen.Fault = p
+		scen.FaultSeed = req.FaultSeed
+		if scen.FaultSeed == 0 {
+			scen.FaultSeed = fault.Seed(req.Seed, 0)
+		}
+	}
+	return scen, nil
 }
 
 // defaultRenderJitter matches the realistic jitter attackd and the

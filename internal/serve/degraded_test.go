@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gpuleak/internal/attack"
+	"gpuleak/internal/fault"
+	"gpuleak/internal/kgsl"
+)
+
+// TestStatusForSampleErrors pins the degraded-mode HTTP taxonomy: a
+// retryable device failure the retry policy could not absorb is 503
+// (transient, Retry-After applies), while a mitigation refusing the
+// counter interface stays 403 even when wrapped in a SampleError.
+func TestStatusForSampleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"retryable sample error (EBUSY)",
+			&attack.SampleError{Op: "read", Attempts: 4, Err: kgsl.ErrBusy},
+			http.StatusServiceUnavailable},
+		{"retryable sample error (revoked)",
+			&attack.SampleError{Op: "reserve", Attempts: 4, Err: kgsl.ErrNotReserved},
+			http.StatusServiceUnavailable},
+		{"wrapped retryable sample error",
+			fmt.Errorf("attack: 33 consecutive failed ticks: %w",
+				&attack.SampleError{Op: "read", Attempts: 4, Err: kgsl.ErrBusy}),
+			http.StatusServiceUnavailable},
+		{"fatal sample error (EPERM mitigation)",
+			&attack.SampleError{Op: "read", Attempts: 1, Err: kgsl.ErrPerm},
+			http.StatusForbidden},
+		{"plain backpressure", ErrBusy, http.StatusTooManyRequests},
+		{"draining", ErrDraining, http.StatusServiceUnavailable},
+		{"bad request", ErrBadRequest, http.StatusBadRequest},
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"unclassified", errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("%s: statusFor = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestWriteErrorRetryAfter pins that transient statuses (429, 503) carry
+// the Retry-After hint and permanent ones do not.
+func TestWriteErrorRetryAfter(t *testing.T) {
+	s := NewServer(Options{Shards: 1})
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrBusy, true},
+		{&attack.SampleError{Op: "read", Attempts: 4, Err: kgsl.ErrBusy}, true},
+		{ErrBadRequest, false},
+		{&attack.SampleError{Op: "read", Attempts: 1, Err: kgsl.ErrPerm}, false},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		s.writeError(rec, tc.err)
+		if got := rec.Header().Get("Retry-After") != ""; got != tc.want {
+			t.Errorf("writeError(%v): Retry-After present=%v, want %v (status %d)",
+				tc.err, got, tc.want, rec.Code)
+		}
+	}
+}
+
+// TestResolveScenarioFaultProfile pins the request-side fault plumbing:
+// named profiles resolve, the fault seed defaults to a derivation of the
+// request seed, and unknown names are 400s, not 500s.
+func TestResolveScenarioFaultProfile(t *testing.T) {
+	scen, err := ResolveScenario(EavesdropRequest{Text: "x", Seed: 7, FaultProfile: "moderate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scen.Fault.Name != "moderate" {
+		t.Fatalf("scenario fault profile %q, want moderate", scen.Fault.Name)
+	}
+	if scen.FaultSeed != fault.Seed(7, 0) {
+		t.Fatalf("scenario fault seed %d, want fault.Seed(7, 0) = %d", scen.FaultSeed, fault.Seed(7, 0))
+	}
+
+	scen, err = ResolveScenario(EavesdropRequest{Text: "x", Seed: 7, FaultProfile: "moderate", FaultSeed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scen.FaultSeed != 99 {
+		t.Fatalf("explicit fault seed not honored: %d", scen.FaultSeed)
+	}
+
+	_, err = ResolveScenario(EavesdropRequest{Text: "x", FaultProfile: "catastrophic"})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown profile error %v, want ErrBadRequest", err)
+	}
+	if statusFor(err) != http.StatusBadRequest {
+		t.Fatalf("unknown profile maps to %d, want 400", statusFor(err))
+	}
+
+	scen, err = ResolveScenario(EavesdropRequest{Text: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scen.Fault.Name != "" {
+		t.Fatalf("fault plane armed without a fault_profile: %+v", scen.Fault)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"gpuleak/internal/attack"
 	"gpuleak/internal/exp"
+	"gpuleak/internal/fault"
 	"gpuleak/internal/kgsl"
 	"gpuleak/internal/obs"
 	"gpuleak/internal/victim"
@@ -243,8 +244,13 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 	return context.WithTimeout(ctx, d)
 }
 
-// statusFor maps the error taxonomy onto HTTP statuses.
+// statusFor maps the error taxonomy onto HTTP statuses. A retryable
+// sampling failure (the device plane was faulting harder than the retry
+// policy could absorb) answers 503 + Retry-After — the device may
+// recover — while non-retryable sampling failures fall through to their
+// driver sentinel (EPERM → 403: an active mitigation, not a transient).
 func statusFor(err error) int {
+	var se *attack.SampleError
 	switch {
 	case errors.Is(err, ErrBusy):
 		return http.StatusTooManyRequests
@@ -256,6 +262,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, attack.ErrModelNotTrained):
 		return http.StatusPreconditionFailed
+	case errors.As(err, &se) && se.Retryable():
+		return http.StatusServiceUnavailable
 	case errors.Is(err, kgsl.ErrPerm), errors.Is(err, kgsl.ErrDeviceAccess):
 		// A mitigated device refused the counter interface (§9).
 		return http.StatusForbidden
@@ -334,7 +342,18 @@ func (s *Server) handleEavesdrop(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return fmt.Errorf("serve: opening device file: %w", err)
 		}
-		res, err := attack.New(m).EavesdropContext(ctx, f, 0, sess.End)
+		atk := attack.New(m)
+		var df attack.DeviceFile = f
+		if scen.Fault.Name != "" {
+			// The request asked for a fault plane: wrap the device and arm
+			// the retry policy, so injected bursts degrade the result
+			// instead of failing the request. Fault-free requests keep the
+			// zero policy and the raw file — their responses stay
+			// byte-identical to the pre-fault-plane wire format.
+			df = fault.NewFile(f, scen.Fault, scen.FaultSeed)
+			atk.Retry = attack.DefaultRetryPolicy()
+		}
+		res, err := atk.EavesdropContext(ctx, df, 0, sess.End)
 		if err != nil {
 			return err
 		}
@@ -346,6 +365,11 @@ func (s *Server) handleEavesdrop(w http.ResponseWriter, r *http.Request) {
 			Keys:            len(res.Keys),
 			EstimatedLength: res.EstimatedLength,
 			Stats:           res.Stats,
+			Degraded:        res.Degraded,
+		}
+		if res.Degraded {
+			rec := res.Recovery
+			resp.Recovery = &rec
 		}
 		return nil
 	})

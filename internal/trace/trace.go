@@ -96,6 +96,12 @@ func (t *Trace) Len() int { return len(t.Samples) }
 type Delta struct {
 	At sim.Time
 	V  Vec
+	// Gap is the time between the two samples the delta spans. In a
+	// fault-free trace it equals the polling interval; a larger gap means
+	// ticks were dropped or late and the delta may aggregate several
+	// distinct screen events — the online engine's gap-aware segmentation
+	// keys off it.
+	Gap sim.Time
 }
 
 // Deltas extracts the non-zero changes between consecutive samples — the
@@ -114,7 +120,11 @@ func (t *Trace) Deltas() []Delta {
 			}
 		}
 		if changed {
-			out = append(out, Delta{At: t.Samples[i].At, V: v})
+			out = append(out, Delta{
+				At:  t.Samples[i].At,
+				V:   v,
+				Gap: t.Samples[i].At - t.Samples[i-1].At,
+			})
 		}
 	}
 	return out

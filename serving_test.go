@@ -154,3 +154,49 @@ func TestServedPracticalSession(t *testing.T) {
 			got.Truth, sess.TypedText())
 	}
 }
+
+// TestServedEavesdropDegradedMode pins the serving layer's degraded-mode
+// contract: injected device faults that the retry policy absorbs produce
+// 200s flagged degraded (with recovery accounting), never 5xx — and the
+// "none" profile routed through the fault plane is byte-identical to not
+// asking for faults at all.
+func TestServedEavesdropDegradedMode(t *testing.T) {
+	srv := serve.NewServer(serve.Options{Shards: 1, TrainRepeats: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A moderate profile must be absorbed: 200, degraded, with the
+	// recovery counters explaining why the result may be imperfect.
+	_, degraded := servedEavesdrop(t, ts.URL,
+		`{"text":"hunter2","seed":7,"fault_profile":"moderate"}`)
+	if !degraded.Degraded {
+		t.Error("moderate fault profile produced a non-degraded response")
+	}
+	if degraded.Recovery == nil {
+		t.Fatal("degraded response carries no recovery accounting")
+	}
+	if !degraded.Recovery.Degraded() {
+		t.Errorf("recovery accounting %+v shows no recovery work", *degraded.Recovery)
+	}
+
+	// The "none" profile arms the fault plane and the retry policy but
+	// injects nothing: the response must match the plain request byte for
+	// byte (the passthrough identity, end to end through HTTP).
+	plain, _ := servedEavesdrop(t, ts.URL, `{"text":"hunter2","seed":7}`)
+	wrapped, _ := servedEavesdrop(t, ts.URL,
+		`{"text":"hunter2","seed":7,"fault_profile":"none"}`)
+	if !bytes.Equal(plain, wrapped) {
+		t.Errorf("none-profile response differs from plain response:\n%s\nvs\n%s", wrapped, plain)
+	}
+
+	// Unknown profiles are client errors.
+	resp, err := http.Post(ts.URL+"/v1/eavesdrop", "application/json",
+		strings.NewReader(`{"text":"x","fault_profile":"catastrophic"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown fault profile: status %d, want 400", resp.StatusCode)
+	}
+}

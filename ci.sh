@@ -7,9 +7,13 @@
 #   2. go vet     — the stock toolchain analyzers
 #   3. go build   — everything compiles
 #   4. gpuvet     — the repo's own invariants (see README "Static
-#                   analysis & CI"); production packages only. Includes
-#                   the doccheck gate: exported symbols on the documented
-#                   surface (facade, serve, obs, fault) must carry godoc
+#                   analysis & CI"); production packages only, gated
+#                   against the committed gpuvet-baseline.json, with the
+#                   //gpuvet:ignore count reconciled against
+#                   gpuvet-waivers.json and the hot-path allocation
+#                   budget (gpuvet-hotalloc.json) enforced. Emits a
+#                   SARIF report; when CI_ARTIFACTS is set it is copied
+#                   there for upload.
 #   5. go test    — full test suite under the race detector
 #   6. telemetry  — seeded attackd run with -telemetry; the stream must
 #                   parse and be non-empty (traceview validates), and it
@@ -20,6 +24,10 @@
 #   8. chaos      — fault-injection smoke: cmd/chaos -check asserts the
 #                   none profile is a byte-identical passthrough and that
 #                   injected faults are recovered, never fatal
+#   9. bench      — warn-only: a fresh benchpaper -json report compared
+#                   against the committed BENCH_baseline.json with
+#                   benchcmp; regressions print but never fail tier-1
+#                   (shared runners are too noisy to gate on wall time)
 #
 # Run from the repo root: ./ci.sh
 #
@@ -61,7 +69,20 @@ echo "==> go build ./..."
 go build ./...
 
 echo "==> gpuvet ./..."
-go run ./cmd/gpuvet ./...
+# Findings gate against the committed baseline (currently empty — any
+# finding is new), the waiver ledger reconciles every //gpuvet:ignore,
+# and the SARIF report is archived when CI_ARTIFACTS is set.
+gpuvet_dir=$(mktemp -d)
+trap 'rm -rf "$gpuvet_dir"' EXIT
+go run ./cmd/gpuvet \
+    -sarif "$gpuvet_dir/gpuvet.sarif" \
+    -baseline gpuvet-baseline.json \
+    -waivers gpuvet-waivers.json \
+    ./...
+if [ -n "${CI_ARTIFACTS:-}" ]; then
+    mkdir -p "$CI_ARTIFACTS"
+    cp "$gpuvet_dir/gpuvet.sarif" "$CI_ARTIFACTS/gpuvet.sarif"
+fi
 
 if [ "$quick" = 1 ]; then
     echo "==> go test ./... (quick: race detector skipped)"
@@ -78,7 +99,7 @@ echo "==> telemetry smoke"
 # stream; traceview exits non-zero on an empty or malformed file, and the
 # conversion exercises the Perfetto exporter.
 telemetry_dir=$(mktemp -d)
-trap 'rm -rf "$telemetry_dir"' EXIT
+trap 'rm -rf "$gpuvet_dir" "$telemetry_dir"' EXIT
 go run ./cmd/attackd -seed 7 -text hunter2 \
     -telemetry "$telemetry_dir/telemetry.jsonl" >/dev/null 2>&1
 go run ./cmd/traceview -telemetry "$telemetry_dir/telemetry.jsonl" \
@@ -91,7 +112,7 @@ echo "==> gpuleakd smoke"
 # truth), and drain cleanly on SIGTERM. Binaries are prebuilt so the
 # background daemon is a real process we can signal and wait on.
 smoke_dir=$(mktemp -d)
-trap 'rm -rf "$telemetry_dir" "$smoke_dir"' EXIT
+trap 'rm -rf "$gpuvet_dir" "$telemetry_dir" "$smoke_dir"' EXIT
 go build -o "$smoke_dir/gpuleakd" ./cmd/gpuleakd
 go build -o "$smoke_dir/loadgen" ./cmd/loadgen
 "$smoke_dir/gpuleakd" -addr 127.0.0.1:18419 >"$smoke_dir/gpuleakd.log" 2>&1 &
@@ -119,6 +140,19 @@ go run ./cmd/chaos -profiles none,moderate -trials 3 -seed 7 \
 if [ -n "${CI_ARTIFACTS:-}" ]; then
     mkdir -p "$CI_ARTIFACTS"
     cp "$smoke_dir/chaos.json" "$CI_ARTIFACTS/chaos.json"
+fi
+
+echo "==> bench compare (warn-only)"
+# Perf trajectory visibility, not a gate: compare a fresh quick-scale
+# report against the committed baseline. benchcmp's exit status is
+# swallowed on purpose — wall-clock thresholds are a human decision made
+# against the recorded trajectory, and shared runners are noisy.
+go run ./cmd/benchpaper -json > "$smoke_dir/bench.json"
+if ! go run ./cmd/benchcmp BENCH_baseline.json "$smoke_dir/bench.json"; then
+    echo "WARNING: bench report drifted from BENCH_baseline.json (not a gate)" >&2
+fi
+if [ -n "${CI_ARTIFACTS:-}" ]; then
+    cp "$smoke_dir/bench.json" "$CI_ARTIFACTS/bench.json"
 fi
 
 echo "CI: all gates passed"

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -84,8 +85,11 @@ func TestLoadUnknownPattern(t *testing.T) {
 }
 
 // TestRepoClean is the acceptance gate as a unit test: the production
-// tree (non-test files) must carry zero findings, so a plain `go test`
-// catches invariant regressions even when ci.sh is skipped.
+// tree (non-test files) must carry zero unwaived findings under the full
+// driver config — all registered analyzers, the committed hot-path
+// allocation budget, the committed (empty) baseline, and an exactly
+// tallied waiver ledger — so a plain `go test` catches invariant
+// regressions even when ci.sh is skipped.
 func TestRepoClean(t *testing.T) {
 	l, err := NewLoader(".")
 	if err != nil {
@@ -98,8 +102,38 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	diags := Run(pkgs, DefaultAnalyzers())
+
+	budget, err := LoadHotAllocBudget(filepath.Join(l.ModuleRoot, "gpuvet-hotalloc.json"))
+	if err != nil {
+		t.Fatalf("loading committed hotalloc budget: %v", err)
+	}
+	cfg := &Config{ModuleRoot: l.ModuleRoot, HotAlloc: budget}
+	diags := RunConfig(cfg, pkgs, DefaultAnalyzers())
+
+	baseline, err := LoadBaseline(filepath.Join(l.ModuleRoot, "gpuvet-baseline.json"))
+	if err != nil {
+		t.Fatalf("loading committed baseline: %v", err)
+	}
+	if len(baseline.Findings) != 0 {
+		t.Errorf("committed baseline should be empty (the tree is clean); it lists %d findings", len(baseline.Findings))
+	}
+	diags, absorbed := baseline.Filter(l.ModuleRoot, diags)
+	if len(absorbed) != 0 {
+		t.Errorf("empty baseline absorbed %d findings", len(absorbed))
+	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+
+	ledger, err := LoadWaiverLedger(filepath.Join(l.ModuleRoot, "gpuvet-waivers.json"))
+	if err != nil {
+		t.Fatalf("loading committed waiver ledger: %v", err)
+	}
+	counts, err := CountWaivers(l.ModuleRoot)
+	if err != nil {
+		t.Fatalf("counting //gpuvet:ignore directives: %v", err)
+	}
+	for _, problem := range ledger.Check(counts) {
+		t.Errorf("waiver ledger: %s", problem)
 	}
 }

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Baseline support: `gpuvet -baseline gpuvet-baseline.json` only fails
+// on findings absent from the committed baseline, so a new analyzer can
+// land with its existing debt recorded while still gating every *new*
+// violation. Baseline keys deliberately ignore line numbers — unrelated
+// edits move code — and match on (check, file, message) with an
+// occurrence count, so two identical findings in one file need two
+// baseline entries.
+
+// BaselineSchema is the baseline file's schema identifier.
+const BaselineSchema = "gpuvet-baseline/v1"
+
+// Baseline is the parsed gpuvet-baseline.json.
+type Baseline struct {
+	Schema string `json:"schema"`
+	// Note is free-form documentation carried in the file.
+	Note string `json:"note,omitempty"`
+	// Findings are the accepted legacy findings.
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// BaselineFinding is one accepted legacy finding.
+type BaselineFinding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	// Count is how many identical (check, file, message) findings the
+	// baseline absorbs; 0 means 1.
+	Count int `json:"count,omitempty"`
+}
+
+func (f BaselineFinding) key() string {
+	return f.Check + "\x00" + f.File + "\x00" + f.Message
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("analysis: %s has schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// Filter splits findings into those absorbed by the baseline and the new
+// ones that must gate. moduleRoot relativizes filenames to match the
+// baseline's stored form.
+func (b *Baseline) Filter(moduleRoot string, diags []Diagnostic) (newDiags, absorbed []Diagnostic) {
+	budget := map[string]int{}
+	for _, f := range b.Findings {
+		n := f.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[f.key()] += n
+	}
+	for _, d := range diags {
+		k := BaselineFinding{
+			Check:   d.Check,
+			File:    relativeURI(moduleRoot, d.Pos.Filename),
+			Message: d.Message,
+		}.key()
+		if budget[k] > 0 {
+			budget[k]--
+			absorbed = append(absorbed, d)
+		} else {
+			newDiags = append(newDiags, d)
+		}
+	}
+	return newDiags, absorbed
+}
+
+// WriteBaseline renders the findings as a fresh baseline file
+// (`gpuvet -write-baseline`): deterministic order, duplicates folded
+// into counts.
+func WriteBaseline(w io.Writer, moduleRoot string, diags []Diagnostic) error {
+	byKey := map[string]*BaselineFinding{}
+	var keys []string
+	for _, d := range diags {
+		f := BaselineFinding{
+			Check:   d.Check,
+			File:    relativeURI(moduleRoot, d.Pos.Filename),
+			Message: d.Message,
+		}
+		k := f.key()
+		if prev, ok := byKey[k]; ok {
+			prev.Count++
+			continue
+		}
+		f.Count = 1
+		byKey[k] = &f
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := Baseline{
+		Schema: BaselineSchema,
+		Note:   "Accepted legacy findings; gpuvet -baseline fails only on findings not listed here. Regenerate with gpuvet -write-baseline.",
+	}
+	b.Findings = make([]BaselineFinding, 0, len(keys))
+	for _, k := range keys {
+		f := *byKey[k]
+		if f.Count == 1 {
+			f.Count = 0 // omitempty: singletons stay terse
+		}
+		b.Findings = append(b.Findings, f)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&b)
+}

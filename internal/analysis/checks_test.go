@@ -147,6 +147,84 @@ func TestDocCheckFixtures(t *testing.T) {
 	checkFixture(t, DocCheck, "doccheck/good", "gpuleak/internal/fault")
 }
 
+func TestCtxFlowFixtures(t *testing.T) {
+	checkFixture(t, CtxFlow, "ctxflow/bad", "gpuleak/internal/cfbad")
+	checkFixture(t, CtxFlow, "ctxflow/good", "gpuleak/internal/cfgood")
+}
+
+func TestCtxFlowScope(t *testing.T) {
+	if CtxFlow.Applies("gpuleak/cmd/gpuleakd") {
+		t.Error("ctxflow must not apply outside internal/ (main functions own the root context)")
+	}
+	if !CtxFlow.Applies("gpuleak/internal/serve") {
+		t.Error("ctxflow must apply to internal/ packages")
+	}
+}
+
+func TestDetMapFixtures(t *testing.T) {
+	checkFixture(t, DetMap, "detmap/bad", "gpuleak/internal/dmbad")
+	checkFixture(t, DetMap, "detmap/good", "gpuleak/internal/dmgood")
+}
+
+func TestErrTaxonomyFixtures(t *testing.T) {
+	// The fixture path reuses the facade's import path so the
+	// errors.go-placement rule applies.
+	checkFixture(t, ErrTaxonomy, "errtaxonomy/bad", "gpuleak")
+	checkFixture(t, ErrTaxonomy, "errtaxonomy/good", "gpuleak")
+}
+
+// checkHotAllocFixture is checkFixture for the hotalloc analyzer, which
+// needs a driver Config carrying the fixture's own budget file and the
+// module root (it shells out to go build).
+func checkHotAllocFixture(t *testing.T, rel string, pkgPath string) {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dir := filepath.Join("testdata", rel)
+	pkg, err := l.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	budget, err := LoadHotAllocBudget(filepath.Join(dir, "budget.json"))
+	if err != nil {
+		t.Fatalf("loading fixture budget: %v", err)
+	}
+	cfg := &Config{ModuleRoot: l.ModuleRoot, HotAlloc: budget}
+	diags := RunConfig(cfg, []*Package{pkg}, []*Analyzer{HotAlloc})
+	got := map[string]bool{}
+	for _, d := range diags {
+		got[fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)] = true
+	}
+	want := fixtureWants(t, dir)
+	for k := range want {
+		if !got[k] {
+			t.Errorf("%s/%s: expected a hotalloc finding, got none", rel, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("%s/%s: unexpected hotalloc finding", rel, k)
+		}
+	}
+}
+
+func TestHotAllocFixtures(t *testing.T) {
+	checkHotAllocFixture(t, "hotalloc/bad", "gpuleak/internal/habad")
+	checkHotAllocFixture(t, "hotalloc/good", "gpuleak/internal/hagood")
+}
+
+// TestHotAllocSkipsWithoutConfig pins that the analyzer is inert without
+// a driver config: plain Run() callers (older tests, fixtures for other
+// checks) never shell out to go build.
+func TestHotAllocSkipsWithoutConfig(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc/bad", "gpuleak/internal/habad")
+	if diags := Run([]*Package{pkg}, []*Analyzer{HotAlloc}); len(diags) != 0 {
+		t.Errorf("hotalloc without a config produced findings: %v", diags)
+	}
+}
+
 func TestDocCheckScope(t *testing.T) {
 	if !DocCheck.Applies("gpuleak") {
 		t.Error("doccheck must apply to the facade package")

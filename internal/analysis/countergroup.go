@@ -15,9 +15,10 @@ import (
 // constant tables from the adreno package itself — nothing is hardcoded
 // that could drift on its own.
 var CounterGroup = &Analyzer{
-	Name: "countergroup",
-	Doc:  "require adreno.Group*/countable constants instead of magic counter IDs",
-	Run:  runCounterGroup,
+	Name:     "countergroup",
+	Category: "driver-fidelity",
+	Doc:      "require adreno.Group*/countable constants instead of magic counter IDs",
+	Run:      runCounterGroup,
 }
 
 // adrenoConsts are the group/countable constant tables extracted from a
@@ -263,3 +264,5 @@ func (p *Pass) constUint(e ast.Expr) (uint64, bool) {
 	v, exact := constant.Uint64Val(constant.ToInt(tv.Value))
 	return v, exact
 }
+
+func init() { Register(CounterGroup) }

@@ -18,10 +18,11 @@ import (
 // quickly and their contracts live in tests; the facade and the serving
 // layer are the API whose docs are the contract.
 var DocCheck = &Analyzer{
-	Name:    "doccheck",
-	Doc:     "exported symbols on the documented surface (facade, serve, obs, fault) must carry godoc comments",
-	Applies: isDocumentedSurface,
-	Run:     runDocCheck,
+	Name:     "doccheck",
+	Category: "docs",
+	Doc:      "exported symbols on the documented surface (facade, serve, obs, fault) must carry godoc comments",
+	Applies:  isDocumentedSurface,
+	Run:      runDocCheck,
 }
 
 // docSurface lists the packages whose godoc is treated as API contract.
@@ -165,3 +166,5 @@ func docStartsWith(text, name string, allowArticle bool) bool {
 	return strings.TrimRight(fields[0], ":,.") == name ||
 		strings.Trim(fields[0], "\"'`") == name
 }
+
+func init() { Register(DocCheck) }

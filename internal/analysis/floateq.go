@@ -18,10 +18,11 @@ var floatEqPaths = map[string]bool{
 // FloatEq forbids ==/!= between floating-point operands (including
 // arrays/structs with float components) in the distance-math packages.
 var FloatEq = &Analyzer{
-	Name:    "floateq",
-	Doc:     "forbid ==/!= on float-typed operands in internal/stats and internal/attack",
-	Applies: func(path string) bool { return floatEqPaths[path] },
-	Run:     runFloatEq,
+	Name:     "floateq",
+	Category: "hygiene",
+	Doc:      "forbid ==/!= on float-typed operands in internal/stats and internal/attack",
+	Applies:  func(path string) bool { return floatEqPaths[path] },
+	Run:      runFloatEq,
 }
 
 func runFloatEq(p *Pass) {
@@ -64,3 +65,5 @@ func containsFloat(t types.Type) bool {
 		return false
 	}
 }
+
+func init() { Register(FloatEq) }

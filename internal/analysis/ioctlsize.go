@@ -23,9 +23,10 @@ import (
 // followed by a uint32). Fields align to their size; the struct pads to
 // its widest alignment.
 var IoctlSize = &Analyzer{
-	Name: "ioctlsize",
-	Doc:  "verify iowr(nr, size) sizes match the marshalled struct's kernel ABI size",
-	Run:  runIoctlSize,
+	Name:     "ioctlsize",
+	Category: "driver-fidelity",
+	Doc:      "verify iowr(nr, size) sizes match the marshalled struct's kernel ABI size",
+	Run:      runIoctlSize,
 }
 
 func runIoctlSize(p *Pass) {
@@ -177,3 +178,5 @@ func roundUp(n, align uint64) uint64 {
 	}
 	return (n + align - 1) / align * align
 }
+
+func init() { Register(IoctlSize) }

@@ -14,9 +14,10 @@ import (
 // methods intentionally called with the lock already held should carry
 // //gpuvet:ignore lockcheck -- held by caller.
 var LockCheck = &Analyzer{
-	Name: "lockcheck",
-	Doc:  "flag methods touching mutex-guarded fields without locking the mutex",
-	Run:  runLockCheck,
+	Name:     "lockcheck",
+	Category: "hygiene",
+	Doc:      "flag methods touching mutex-guarded fields without locking the mutex",
+	Run:      runLockCheck,
 }
 
 // guardedStruct records one struct with a mutex and its guarded fields.
@@ -199,3 +200,5 @@ func isSyncLockMethod(fn *types.Func) bool {
 	}
 	return false
 }
+
+func init() { Register(LockCheck) }

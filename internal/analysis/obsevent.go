@@ -22,8 +22,9 @@ import (
 //  4. sim.Time conversions of wall-clock (package time) values in the
 //     timestamp argument smuggle nondeterminism into the stream.
 var ObsEvent = &Analyzer{
-	Name: "obsevent",
-	Doc:  "obs event names must be package-level obs.NewName registrations; Emit/Start timestamps must not derive from the wall clock",
+	Name:     "obsevent",
+	Category: "determinism",
+	Doc:      "obs event names must be package-level obs.NewName registrations; Emit/Start timestamps must not derive from the wall clock",
 	Applies: func(pkgPath string) bool {
 		// The obs package itself converts names when parsing streams.
 		return isInternalPath(pkgPath) && !strings.HasSuffix(pkgPath, "internal/obs")
@@ -88,22 +89,6 @@ func runObsEvent(p *Pass) {
 	}
 }
 
-// calledFunc resolves a call's callee to its types.Func (nil for builtins,
-// conversions and indirect calls through variables).
-func calledFunc(p *Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
-	return fn
-}
-
 // checkEmitCall validates one Tracer.Emit/Start call site: the name
 // argument (index 1) must resolve to a package-level variable, and the
 // timestamp argument (index 0) must not convert a package-time value.
@@ -154,3 +139,5 @@ func checkEmitCall(p *Pass, call *ast.CallExpr, what string) {
 		return true
 	})
 }
+
+func init() { Register(ObsEvent) }

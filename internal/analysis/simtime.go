@@ -28,10 +28,11 @@ var wallClockFuncs = map[string]bool{
 // wall-clock use (e.g. measuring the attacker's own computation cost,
 // Fig 25) carries a //gpuvet:ignore simtime justification.
 var SimTime = &Analyzer{
-	Name:    "simtime",
-	Doc:     "forbid wall-clock time.Now/Sleep/Since/Tick/... in internal/ packages; use sim.Time",
-	Applies: isInternalPath,
-	Run:     runSimTime,
+	Name:     "simtime",
+	Category: "determinism",
+	Doc:      "forbid wall-clock time.Now/Sleep/Since/Tick/... in internal/ packages; use sim.Time",
+	Applies:  isInternalPath,
+	Run:      runSimTime,
 }
 
 func runSimTime(p *Pass) {
@@ -45,3 +46,5 @@ func runSimTime(p *Pass) {
 		}
 	}
 }
+
+func init() { Register(SimTime) }

@@ -1,0 +1,44 @@
+package dmbad
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PrintAll serializes entries in random map order.
+func PrintAll(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // WANT
+	}
+}
+
+// Keys accumulates in random order and never sorts before returning.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // WANT
+	}
+	return out
+}
+
+// Build renders through a strings.Builder in random order.
+func Build(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // WANT
+	}
+	return b.String()
+}
+
+// Rows feeds a report table in random order.
+type table struct{ rows [][]string }
+
+func (t *table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Report emits table rows straight out of a map range.
+func Report(t *table, m map[string]float64) {
+	for k, v := range m {
+		t.AddRow(k, fmt.Sprint(v)) // WANT
+	}
+}

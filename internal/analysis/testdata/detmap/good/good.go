@@ -1,0 +1,71 @@
+package dmgood
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SortedKeys collects, sorts, then returns — the canonical idiom.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PrintSorted serializes from the sorted slice, not the map.
+func PrintSorted(w io.Writer, m map[string]int) {
+	for _, k := range SortedKeys(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Pair is one entry for SortedPairs.
+type Pair struct {
+	K string
+	V int
+}
+
+// SortedPairs sorts with sort.Slice after collecting.
+func SortedPairs(m map[string]int) []Pair {
+	var out []Pair
+	for k, v := range m {
+		out = append(out, Pair{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+// Sum is an order-independent fold: no finding.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert builds another map: ordering cannot leak.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// PerEntry appends only to loop-local scratch: ordering stays local.
+func PerEntry(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		n += len(local)
+	}
+	return n
+}

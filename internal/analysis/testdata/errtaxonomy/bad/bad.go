@@ -1,0 +1,36 @@
+package gpuleak
+
+import (
+	"errors"
+	"strings"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// ErrMisplaced is an exported error declared outside errors.go.
+var ErrMisplaced = errors.New("misplaced") // WANT
+
+func matchText(err error) bool {
+	if err.Error() == "file not found" { // WANT
+		return true
+	}
+	return strings.Contains(err.Error(), "busy") // WANT
+}
+
+func prefixText(err error) bool {
+	return strings.HasPrefix(err.Error(), "attack:") // WANT
+}
+
+func compareWrapped(err, other error) bool {
+	return err == other // WANT
+}
+
+func fineChecks(err error) bool {
+	if err == nil {
+		return false
+	}
+	if err == errSentinel {
+		return true
+	}
+	return errors.Is(err, errSentinel)
+}

@@ -1,0 +1,6 @@
+package gpuleak
+
+import "errors"
+
+// ErrTaxonomized is a public sentinel, correctly placed in errors.go.
+var ErrTaxonomized = errors.New("taxonomized")

@@ -1,0 +1,28 @@
+package gpuleak
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errInternal = errors.New("internal")
+
+func classify(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	if err == ErrTaxonomized { // == against a declared sentinel: tolerated
+		return "taxonomized"
+	}
+	if errors.Is(err, errInternal) {
+		return "internal"
+	}
+	var typed *fmt.Formatter
+	_ = typed
+	return "unknown"
+}
+
+// render displays text without matching on it — always legal.
+func render(err error) string {
+	return fmt.Sprintf("failed: %v (%s)", err, err.Error())
+}

@@ -1,0 +1,24 @@
+// Package habad mirrors the sampler's tick path with a deliberate
+// allocation smuggled into the loop — the negative test pinning that
+// hotalloc fails the build when the hot path grows a heap allocation
+// beyond its committed budget.
+package habad
+
+// Sample is one tick's counter reading.
+type Sample struct{ Vals [4]uint64 }
+
+var sink []uint64
+
+// CollectTick mirrors (*Sampler).CollectContext's per-tick work. The
+// fixture budget allows exactly one escape site (the returned trace);
+// the smuggled make() inside the loop is the regression.
+func CollectTick(n int) *Sample { // WANT
+	s := &Sample{}
+	for i := 0; i < n; i++ {
+		scratch := make([]uint64, 4)
+		scratch[0] = uint64(i)
+		sink = scratch
+		s.Vals[0] += scratch[0]
+	}
+	return s
+}

@@ -1,0 +1,16 @@
+// Package hagood mirrors the sampler's tick path at its committed
+// allocation budget: the only escape site is the returned sample.
+package hagood
+
+// Sample is one tick's counter reading.
+type Sample struct{ Vals [4]uint64 }
+
+// CollectTick mirrors (*Sampler).CollectContext's per-tick work with a
+// clean loop: no per-tick heap allocation.
+func CollectTick(n int) *Sample {
+	s := &Sample{}
+	for i := 0; i < n; i++ {
+		s.Vals[0] += uint64(i)
+	}
+	return s
+}

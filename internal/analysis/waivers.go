@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Waiver-budget ledger: every //gpuvet:ignore directive in the tree is
+// debt, and gpuvet-waivers.json is the committed ledger of that debt.
+// The driver counts the directives actually present (per check, via the
+// same parser the suppression index uses) and fails when the counts
+// drift from the ledger in either direction — a new waiver needs a
+// ledger entry explaining itself in the same change, and a removed
+// waiver must ratchet the ledger down so the budget cannot be silently
+// reused later.
+
+// WaiverSchema is the ledger file's schema identifier.
+const WaiverSchema = "gpuvet-waivers/v1"
+
+// WaiverLedger is the parsed gpuvet-waivers.json.
+type WaiverLedger struct {
+	Schema string `json:"schema"`
+	// Note is free-form documentation carried in the file.
+	Note string `json:"note,omitempty"`
+	// Budgets maps check name -> allowed directive count. A bare
+	// //gpuvet:ignore (no check names) counts under "any".
+	Budgets map[string]int `json:"budgets"`
+	// Entries documents each waiver; per check they must tally with the
+	// budget, so the ledger cannot budget debt it does not explain.
+	Entries []WaiverEntry `json:"entries"`
+}
+
+// WaiverEntry documents one //gpuvet:ignore directive.
+type WaiverEntry struct {
+	Check string `json:"check"`
+	File  string `json:"file"`
+	Why   string `json:"why"`
+}
+
+// LoadWaiverLedger reads and validates a ledger file.
+func LoadWaiverLedger(path string) (*WaiverLedger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l WaiverLedger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+	}
+	if l.Schema != WaiverSchema {
+		return nil, fmt.Errorf("analysis: %s has schema %q, want %q", path, l.Schema, WaiverSchema)
+	}
+	return &l, nil
+}
+
+// CountWaivers walks every .go file under the module root (skipping
+// testdata, hidden and underscore directories — fixtures exercise
+// directives on purpose) and tallies gpuvet:ignore directives per check
+// name. Bare directives count under "any". Test files are included:
+// a waiver is debt wherever it lives.
+func CountWaivers(moduleRoot string) (map[string]int, error) {
+	counts := map[string]int{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(moduleRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != moduleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			// Unparseable files are the build's problem, not the ledger's.
+			return nil
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checks, ok := parseIgnoreDirective(c.Text)
+				if !ok {
+					continue
+				}
+				for _, check := range checks {
+					if check == "" {
+						check = "any"
+					}
+					counts[check]++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// Check compares actual directive counts against the ledger and returns
+// one human-readable problem per drift (empty means the ledger is
+// exact).
+func (l *WaiverLedger) Check(counts map[string]int) []string {
+	var problems []string
+	checks := map[string]bool{}
+	for c := range counts {
+		checks[c] = true
+	}
+	for c := range l.Budgets {
+		checks[c] = true
+	}
+	entryCounts := map[string]int{}
+	for _, e := range l.Entries {
+		entryCounts[e.Check] = entryCounts[e.Check] + 1
+		checks[e.Check] = true
+	}
+	names := make([]string, 0, len(checks))
+	for c := range checks {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	for _, c := range names {
+		actual, budget, entries := counts[c], l.Budgets[c], entryCounts[c]
+		if actual > budget {
+			problems = append(problems, fmt.Sprintf("check %q has %d //gpuvet:ignore directive(s) but the ledger budgets %d: add a ledger entry (with a why) and raise the budget in the same change", c, actual, budget))
+		}
+		if actual < budget {
+			problems = append(problems, fmt.Sprintf("check %q has %d //gpuvet:ignore directive(s) but the ledger still budgets %d: ratchet the budget down", c, actual, budget))
+		}
+		if entries != budget {
+			problems = append(problems, fmt.Sprintf("check %q budgets %d waiver(s) but documents %d ledger entries: entries must tally with the budget", c, budget, entries))
+		}
+	}
+	return problems
+}

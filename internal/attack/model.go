@@ -279,14 +279,15 @@ func (m *Model) KeyNormMax() float64 {
 // between key centroids — the resolution limit of the side channel on
 // this configuration.
 func (m *Model) MinInterKeyDistance() float64 {
-	var cs []trace.Vec
-	for _, c := range m.Keys {
-		cs = append(cs, c)
+	names := make([]string, 0, len(m.Keys))
+	for s := range m.Keys {
+		names = append(names, s)
 	}
+	sort.Strings(names)
 	min := math.Inf(1)
-	for i := 0; i < len(cs); i++ {
-		for j := i + 1; j < len(cs); j++ {
-			if d := cs[i].Dist(cs[j], m.Weights); d < min {
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if d := m.Keys[names[i]].Dist(m.Keys[names[j]], m.Weights); d < min {
 				min = d
 			}
 		}

@@ -7,15 +7,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/eavesdrop   {"text":"hunter2","seed":7,...}  → inference
-//	POST /v1/train       {"device":"Pixel 5",...}         → warm registry
-//	POST /v1/experiment  {"id":"fig17","quick":true}      → paper artifact
-//	GET  /healthz                                         → liveness/drain
-//	GET  /metrics                                         → obs snapshot
+//	POST /v1/eavesdrop            {"text":"hunter2","seed":7,...}  → inference
+//	POST /v1/sessions             {"text":"hunter2",...}           → streaming session
+//	GET  /v1/sessions/{id}/stream                                  → SSE verdict stream
+//	DELETE /v1/sessions/{id}                                       → cancel session
+//	POST /v1/train                {"device":"Pixel 5",...}         → warm registry
+//	POST /v1/experiment           {"id":"fig17","quick":true}      → paper artifact
+//	GET  /healthz                                                  → liveness/drain
+//	GET  /metrics                                                  → obs snapshot
 //
 // SIGINT/SIGTERM initiates graceful shutdown: new requests get 503, every
 // in-flight Algorithm-1 run drains (bounded by -drain-timeout), then the
 // process exits 0.
+//
+// With -addr "127.0.0.1:0" the kernel picks a free port; -addr-file
+// publishes the bound address for scripts (the CI smoke tests use both
+// instead of hard-coding ports).
 package main
 
 import (
@@ -32,13 +39,15 @@ import (
 	"gpuleak/internal/obs"
 	"gpuleak/internal/parallel"
 	"gpuleak/internal/serve"
+	"gpuleak/internal/sim"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gpuleakd: ")
 
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = ephemeral)")
+	addrFile := flag.String("addr-file", "", "write the bound host:port to this file once listening")
 	shards := flag.Int("shards", 4, "registry shards / work queues")
 	cache := flag.Int("cache", 8, "trained models kept per shard (LRU beyond)")
 	workers := flag.Int("queue-workers", 2, "concurrent runs per shard")
@@ -47,11 +56,15 @@ func main() {
 	trainRepeats := flag.Int("train-repeats", 2, "offline-phase repeats per key")
 	reqTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline cap (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+	maxSessions := flag.Int("max-sessions", 64, "resident streaming sessions (oldest unattached evicted beyond)")
+	sessionIdle := flag.Duration("session-idle", 30*time.Second, "reap sessions not attached within this window (0 = never)")
+	batchWindow := flag.Duration("batch-window", 8*time.Millisecond, "sim-time coalescing window for cross-request classification micro-batches")
+	batchMax := flag.Int("batch-max", 16, "classifications per micro-batch flush (0 = batching off)")
 	flag.Parse()
 
 	metrics := obs.NewMetrics()
 	parallel.ObserveWith(metrics)
-	srv := serve.NewServer(serve.Options{
+	opts := serve.Options{
 		Shards:          *shards,
 		CachePerShard:   *cache,
 		WorkersPerShard: *workers,
@@ -60,11 +73,37 @@ func main() {
 		TrainRepeats:    *trainRepeats,
 		RequestTimeout:  *reqTimeout,
 		Metrics:         metrics,
-	})
+		MaxSessions:     *maxSessions,
+		BatchWindow:     sim.Time(batchWindow.Microseconds()),
+		BatchMax:        *batchMax,
+		// The serving package is wall-clock-free by policy; the daemon owns
+		// the real timers and injects them.
+		Pacer: func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+		},
+	}
+	if *sessionIdle > 0 {
+		idle := *sessionIdle
+		opts.SessionTimer = func(reap func()) func() {
+			t := time.AfterFunc(idle, reap)
+			return func() { t.Stop() }
+		}
+	}
+	srv := serve.NewServer(opts)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 	httpSrv := &http.Server{Handler: srv}
 
@@ -85,6 +124,7 @@ func main() {
 		if err := httpSrv.Shutdown(dctx); err != nil {
 			log.Printf("shutdown: http: %v", err)
 		}
+		srv.Close()
 	}()
 
 	log.Printf("listening on http://%s (%d shards, %d workers + %d queued per shard)",

@@ -12,9 +12,23 @@
 // With -smoke, loadgen instead performs the CI liveness check: wait for
 // /healthz, run one eavesdrop, verify the inference round-trips, exit
 // non-zero on any failure.
+//
+// With -fleet, the load is streaming sessions instead of one-shot
+// requests: each unit of work creates a session, attaches its SSE
+// stream, replays the key/retract frames, and checks the closing result
+// against ground truth. The report gains sessions/frames/failovers
+// counters (same gpuleak-load/v1 schema, additive fields).
+//
+// With -fleet-smoke, loadgen performs the fleet CI gate end-to-end: one
+// paced streaming session through the router, SIGKILL the replica that
+// owns it mid-stream (found via the X-Gpuleak-Backend header and the
+// -replica-pids map), and assert the router fails over — the stream must
+// finish with a result matching ground truth and the frame replay must
+// reconstruct it exactly.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -24,7 +38,10 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -36,6 +53,7 @@ type eavesdropRequest struct {
 	Seed         int64  `json:"seed"`
 	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
 	FaultProfile string `json:"fault_profile,omitempty"`
+	PaceMS       int64  `json:"pace_ms,omitempty"`
 }
 
 type eavesdropResponse struct {
@@ -60,6 +78,11 @@ type report struct {
 	Errors   int `json:"errors"`   // transport errors + other statuses
 	Correct  int `json:"correct"`  // inferences matching ground truth
 	Degraded int `json:"degraded"` // 200s that recovered from injected faults
+
+	// Fleet-mode (streaming-session) counters; zero in one-shot runs.
+	Sessions  int `json:"sessions,omitempty"`  // streams completed end-to-end
+	Frames    int `json:"frames,omitempty"`    // key/retract/result frames received
+	Failovers int `json:"failovers,omitempty"` // router failover splices observed
 
 	LatencyMS latency        `json:"latency_ms"`
 	Statuses  map[string]int `json:"statuses"`
@@ -97,6 +120,11 @@ func main() {
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	smoke := flag.Bool("smoke", false, "liveness check: wait for /healthz, one eavesdrop, exit")
 	wait := flag.Duration("healthz-wait", 30*time.Second, "how long to poll /healthz before giving up")
+	fleet := flag.Bool("fleet", false, "drive streaming sessions instead of one-shot eavesdrops")
+	fleetSmoke := flag.Bool("fleet-smoke", false, "fleet CI gate: stream one session, kill the owning replica mid-stream, assert failover")
+	paceMS := flag.Int64("pace-ms", 0, "ask the server to pace stream frames (ms per frame; fleet modes)")
+	replicaPids := flag.String("replica-pids", "", "file of 'url pid' lines mapping replicas to processes (fleet smoke)")
+	killedFile := flag.String("killed-file", "", "write the killed replica's pid here (fleet smoke)")
 	flag.Parse()
 
 	client := &http.Client{Timeout: *reqTimeout}
@@ -107,11 +135,23 @@ func main() {
 		log.Printf("smoke: ok")
 		return
 	}
+	if *fleetSmoke {
+		if err := runFleetSmoke(client, *addr, *text, *seed, *paceMS, *replicaPids, *killedFile, *wait); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fleet smoke: ok")
+		return
+	}
 
 	if err := waitHealthy(client, *addr, *wait); err != nil {
 		log.Fatal(err)
 	}
-	rep := runLoad(client, *addr, *rate, *duration, *text, *seed, *device, *app, *kb, *faults)
+	var rep *report
+	if *fleet {
+		rep = runFleetLoad(client, *addr, *rate, *duration, *text, *seed, *device, *app, *kb, *paceMS)
+	} else {
+		rep = runLoad(client, *addr, *rate, *duration, *text, *seed, *device, *app, *kb, *faults)
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -278,8 +318,319 @@ func waitHealthy(client *http.Client, addr string, wait time.Duration) error {
 	}
 }
 
-// runSmoke is the CI liveness check: healthz, then one eavesdrop whose
-// inference must round-trip the typed credential.
+// sessionResponse mirrors the serve/router session-create body.
+type sessionResponse struct {
+	ID     string `json:"id"`
+	Stream string `json:"stream"`
+}
+
+// streamEvent mirrors the gpuleak-stream/v1 data payload.
+type streamEvent struct {
+	Kind string `json:"kind"`
+	Key  string `json:"key"`
+	Keys int    `json:"keys"`
+}
+
+// sessionOutcome aggregates one streamed session.
+type sessionOutcome struct {
+	status    int // session-create status (0 = transport error)
+	correct   bool
+	frames    int
+	failovers int
+	lat       time.Duration
+	backend   string
+	err       error
+}
+
+// runSession creates one streaming session, attaches its SSE stream, and
+// replays it to completion. onBackend (optional) receives the owning
+// replica named by the create response before the stream attaches;
+// onEvent (optional) observes every data frame as it arrives — the fleet
+// smoke uses the pair to time the replica kill.
+func runSession(client *http.Client, addr string, req eavesdropRequest, onBackend func(string), onEvent func(event string, data []byte)) sessionOutcome {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return sessionOutcome{err: err}
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sessionOutcome{err: err}
+	}
+	o := sessionOutcome{status: resp.StatusCode, backend: resp.Header.Get("X-Gpuleak-Backend")}
+	if onBackend != nil && o.backend != "" {
+		onBackend(o.backend)
+	}
+	var sr sessionResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if o.status != http.StatusCreated {
+		o.err = fmt.Errorf("session create: status %d", o.status)
+		return o
+	}
+	if decErr != nil {
+		o.err = decErr
+		return o
+	}
+
+	stream, err := client.Get(addr + sr.Stream)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		o.err = fmt.Errorf("stream attach: status %d", stream.StatusCode)
+		return o
+	}
+
+	var replay []rune
+	event, data := "", []byte(nil)
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ": failover"):
+			o.failovers++
+			continue
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+			continue
+		case strings.HasPrefix(line, "data: "):
+			data = append([]byte(nil), strings.TrimPrefix(line, "data: ")...)
+			continue
+		case line != "":
+			continue
+		}
+		// Blank line: one frame complete.
+		if onEvent != nil && event != "" {
+			onEvent(event, data)
+		}
+		switch event {
+		case "key", "retract":
+			o.frames++
+			var ev streamEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				o.err = fmt.Errorf("decoding %s frame: %w", event, err)
+				return o
+			}
+			if ev.Kind == "key" {
+				replay = append(replay, []rune(ev.Key)...)
+			} else {
+				replay = replay[:ev.Keys]
+			}
+		case "result":
+			o.frames++
+			o.lat = time.Since(start)
+			var res eavesdropResponse
+			if err := json.Unmarshal(data, &res); err != nil {
+				o.err = fmt.Errorf("decoding result frame: %w", err)
+				return o
+			}
+			o.correct = res.Text != "" && res.Text == res.Truth
+			if string(replay) != res.Text {
+				o.err = fmt.Errorf("frame replay %q != result text %q", string(replay), res.Text)
+				o.correct = false
+			}
+			return o
+		case "error":
+			o.err = fmt.Errorf("in-band stream error: %s", data)
+			return o
+		}
+		event, data = "", nil
+	}
+	if err := sc.Err(); err != nil {
+		o.err = err
+		return o
+	}
+	o.err = fmt.Errorf("stream ended without a result frame")
+	return o
+}
+
+// runFleetLoad drives open-loop streaming-session load and aggregates
+// the gpuleak-load/v1 report with the fleet counters filled in.
+func runFleetLoad(client *http.Client, addr string, rate float64, duration time.Duration,
+	text string, seed int64, device, app, kb string, paceMS int64) *report {
+
+	if rate <= 0 {
+		rate = 1
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	n := int(float64(duration) / float64(interval))
+	if n < 1 {
+		n = 1
+	}
+
+	var (
+		mu       sync.Mutex
+		outcomes []sessionOutcome
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			<-tick.C
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := runSession(client, addr, eavesdropRequest{
+				Device: device, App: app, Keyboard: kb,
+				Text: text, Seed: seed + int64(i), PaceMS: paceMS,
+			}, nil, nil)
+			mu.Lock()
+			outcomes = append(outcomes, o)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &report{
+		Schema:    "gpuleak-load/v1",
+		Target:    addr,
+		RateRPS:   rate,
+		DurationS: duration.Seconds(),
+		WallS:     wall.Seconds(),
+		Statuses:  map[string]int{},
+	}
+	var lats []float64
+	for _, o := range outcomes {
+		rep.Sent++
+		rep.Statuses[fmt.Sprintf("%d", o.status)]++
+		rep.Frames += o.frames
+		rep.Failovers += o.failovers
+		switch {
+		case o.err == nil && o.status == http.StatusCreated:
+			rep.OK++
+			rep.Sessions++
+			lats = append(lats, float64(o.lat)/float64(time.Millisecond))
+			if o.correct {
+				rep.Correct++
+			}
+		case o.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		case o.status == http.StatusServiceUnavailable:
+			rep.Draining++
+		default:
+			rep.Errors++
+		}
+	}
+	rep.LatencyMS = summarize(lats)
+	return rep
+}
+
+// readReplicaPids parses the 'url pid' map the fleet smoke uses to find
+// the process behind a backend URL.
+func readReplicaPids(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pids := map[string]int{}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		pid, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("replica-pids line %q: %w", line, err)
+		}
+		pids[strings.TrimRight(fields[0], "/")] = pid
+	}
+	if len(pids) == 0 {
+		return nil, fmt.Errorf("no 'url pid' entries in %s", path)
+	}
+	return pids, nil
+}
+
+// runFleetSmoke is the fleet CI gate: stream one paced session through
+// the router, SIGKILL the replica that owns it after the first verdict
+// frame, and require the router to splice a failover — the stream must
+// still finish with a correct, replay-consistent result.
+func runFleetSmoke(client *http.Client, addr, text string, seed, paceMS int64, replicaPids, killedFile string, wait time.Duration) error {
+	if replicaPids == "" {
+		return fmt.Errorf("fleet smoke needs -replica-pids")
+	}
+	pids, err := readReplicaPids(replicaPids)
+	if err != nil {
+		return err
+	}
+	if err := waitHealthy(client, addr, wait); err != nil {
+		return err
+	}
+	log.Printf("fleet smoke: router /healthz ok")
+	if paceMS <= 0 {
+		paceMS = 150
+	}
+
+	// Warm the model everywhere it can land before pulling the trigger:
+	// the smoke measures failover, not cold training.
+	warm := oneRequest(client, addr, eavesdropRequest{Text: text, Seed: seed})
+	if warm.status != http.StatusOK {
+		return fmt.Errorf("fleet smoke: warm-up eavesdrop status %d", warm.status)
+	}
+	if !warm.correct {
+		return fmt.Errorf("fleet smoke: warm-up inference did not match ground truth")
+	}
+	log.Printf("fleet smoke: routed one-shot ok")
+
+	var (
+		killOnce sync.Once
+		owner    string
+		killed   int
+		killErr  error
+	)
+	o := runSession(client, addr, eavesdropRequest{Text: text, Seed: seed, PaceMS: paceMS},
+		func(b string) { owner = b },
+		func(event string, data []byte) {
+			if event != "key" {
+				return
+			}
+			// The first live verdict frame proves the owner is streaming:
+			// kill it now, mid-session, and let the router recover.
+			killOnce.Do(func() {
+				pid, ok := pids[owner]
+				if !ok {
+					killErr = fmt.Errorf("owner %q not in replica map %v", owner, pids)
+					return
+				}
+				log.Printf("fleet smoke: killing owner %s (pid %d) mid-stream", owner, pid)
+				if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+					killErr = err
+					return
+				}
+				killed = pid
+			})
+		})
+	if killErr != nil {
+		return fmt.Errorf("fleet smoke: %w", killErr)
+	}
+	if killed == 0 {
+		return fmt.Errorf("fleet smoke: stream finished before any key frame; nothing was killed")
+	}
+	if o.err != nil {
+		return fmt.Errorf("fleet smoke: streamed session: %w", o.err)
+	}
+	if o.failovers < 1 {
+		return fmt.Errorf("fleet smoke: owner died but the stream shows no failover splice")
+	}
+	if !o.correct {
+		return fmt.Errorf("fleet smoke: post-failover result does not match ground truth")
+	}
+	log.Printf("fleet smoke: stream survived the kill (%d frames, %d failover[s], result matches truth)",
+		o.frames, o.failovers)
+	if killedFile != "" {
+		if err := os.WriteFile(killedFile, []byte(fmt.Sprintf("%d\n", killed)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 func runSmoke(client *http.Client, addr, text string, seed int64, wait time.Duration) error {
 	if err := waitHealthy(client, addr, wait); err != nil {
 		return err

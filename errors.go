@@ -29,6 +29,14 @@ var (
 	// queue was full and the request was rejected (HTTP 429) instead of
 	// queued unboundedly.
 	ErrBusy error = serve.ErrBusy
+	// ErrSessionNotFound reports a streaming-session ID with no resident
+	// state: never created, already finished, evicted under MaxSessions
+	// pressure, or reaped by the idle timer (HTTP 404).
+	ErrSessionNotFound error = serve.ErrSessionNotFound
+	// ErrSessionConsumed reports a second attach to a streaming session:
+	// each session is single-use and its verdict stream belongs to the
+	// first GET that claims it (HTTP 409).
+	ErrSessionConsumed error = serve.ErrSessionConsumed
 )
 
 // Is makes *UnknownExperimentError match ErrUnknownExperiment under

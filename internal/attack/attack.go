@@ -53,6 +53,13 @@ type Attack struct {
 	// The zero value disables retrying — any device error aborts the run,
 	// the behavior every fault-free experiment relies on.
 	Retry RetryPolicy
+	// Classify, when non-nil, overrides per-delta classification for every
+	// engine this attack builds (Eavesdrop, EavesdropTrace and the
+	// streaming variants). It must agree with m.ClassifyDenoised(v) for
+	// every input — the hook exists so a serving tier can coalesce
+	// classification work across requests (micro-batching), never to
+	// change verdicts. at is the sim-time of the delta being classified.
+	Classify func(m *Model, at sim.Time, v trace.Vec) Verdict
 	// Obs, when non-nil, receives sampler spans, per-delta verdict events
 	// and monitor events from every run driven through this Attack.
 	Obs *obs.Tracer
@@ -108,17 +115,20 @@ func (a *Attack) Recognize(ds []trace.Delta, interval sim.Time) (*Model, error) 
 	return best, nil
 }
 
-// EavesdropTrace runs device recognition and the online engine over a
-// collected trace.
-func (a *Attack) EavesdropTrace(tr *trace.Trace) (*Result, error) {
-	ds := tr.Deltas()
-	m, err := a.Recognize(ds, tr.Interval)
-	if err != nil {
-		return nil, err
-	}
-	eng := NewEngine(m, tr.Interval, a.Options)
+// engineFor builds the online engine for one recognized model, wiring
+// the attack's observability and classification hooks.
+func (a *Attack) engineFor(m *Model, interval sim.Time) *Engine {
+	eng := NewEngine(m, interval, a.Options)
 	eng.SetObs(a.Obs)
-	eng.ProcessAll(ds)
+	if a.Classify != nil {
+		eng.SetClassify(func(at sim.Time, v trace.Vec) Verdict { return a.Classify(m, at, v) })
+	}
+	return eng
+}
+
+// resultFrom assembles the Result of a finished engine run; shared by the
+// batch and streaming paths so both produce identical results.
+func (a *Attack) resultFrom(m *Model, eng *Engine) *Result {
 	RecordEngineStats(a.Obs.Metrics(), eng.Stats())
 	stats := eng.Stats()
 	return &Result{
@@ -128,7 +138,20 @@ func (a *Attack) EavesdropTrace(tr *trace.Trace) (*Result, error) {
 		Stats:           stats,
 		EstimatedLength: eng.EstimatedLength(),
 		Degraded:        stats.Gaps > 0 || stats.Resyncs > 0,
-	}, nil
+	}
+}
+
+// EavesdropTrace runs device recognition and the online engine over a
+// collected trace.
+func (a *Attack) EavesdropTrace(tr *trace.Trace) (*Result, error) {
+	ds := tr.Deltas()
+	m, err := a.Recognize(ds, tr.Interval)
+	if err != nil {
+		return nil, err
+	}
+	eng := a.engineFor(m, tr.Interval)
+	eng.ProcessAll(ds)
+	return a.resultFrom(m, eng), nil
 }
 
 // Eavesdrop opens the sampling loop on a victim's GPU device file over
@@ -146,6 +169,35 @@ func (a *Attack) Eavesdrop(f DeviceFile, start, end sim.Time) (*Result, error) {
 // completed run is byte-identical to Eavesdrop — the context is a control
 // channel, never an input to the inference.
 func (a *Attack) EavesdropContext(ctx context.Context, f DeviceFile, start, end sim.Time) (*Result, error) {
+	return a.EavesdropStreamContext(ctx, f, start, end, nil)
+}
+
+// StreamEvent is one incremental online-phase notification: the §5
+// engine committed a new key press, or withdrew keys it had previously
+// reported (§5.2 app-switch rollback, §5.3 correction detection). The
+// serving layer's streaming sessions forward these to clients the moment
+// Algorithm 1 emits them.
+type StreamEvent struct {
+	// At is the sim-time of the delta that triggered the event.
+	At sim.Time
+	// Kind is "key" for a newly inferred press, "retract" when the engine
+	// withdrew previously emitted keys.
+	Kind string
+	// Key is the inferred press (valid only for Kind "key").
+	Key InferredKey
+	// Keys is the number of keys the engine stands behind after this
+	// event; after a retraction it is smaller than the event count so far.
+	Keys int
+}
+
+// EavesdropStreamContext is EavesdropContext with live notification:
+// emit, when non-nil, is invoked synchronously for every key the online
+// engine commits and every retraction it performs, in delta order — the
+// paper's real-time notification-bar display as an API. A non-nil error
+// from emit aborts the run (a streaming client went away). The returned
+// Result is byte-identical to EavesdropContext over the same inputs: the
+// emission is a tap on Algorithm 1, never a fork of it.
+func (a *Attack) EavesdropStreamContext(ctx context.Context, f DeviceFile, start, end sim.Time, emit func(StreamEvent) error) (*Result, error) {
 	s, err := NewSamplerRetry(f, a.Interval, a.Retry)
 	if err != nil {
 		return nil, err
@@ -158,10 +210,32 @@ func (a *Attack) EavesdropContext(ctx context.Context, f DeviceFile, start, end 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := a.EavesdropTrace(tr)
+	ds := tr.Deltas()
+	m, err := a.Recognize(ds, tr.Interval)
 	if err != nil {
 		return nil, err
 	}
+	eng := a.engineFor(m, tr.Interval)
+	emitted := 0
+	for _, d := range ds {
+		eng.Process(d)
+		if emit == nil {
+			continue
+		}
+		keys := eng.Keys()
+		if len(keys) < emitted {
+			emitted = len(keys)
+			if err := emit(StreamEvent{At: d.At, Kind: "retract", Keys: len(keys)}); err != nil {
+				return nil, err
+			}
+		}
+		for ; emitted < len(keys); emitted++ {
+			if err := emit(StreamEvent{At: d.At, Kind: "key", Key: keys[emitted], Keys: emitted + 1}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := a.resultFrom(m, eng)
 	res.Recovery = s.Stats
 	res.Degraded = res.Degraded || s.Stats.Degraded()
 	return res, nil

@@ -113,10 +113,11 @@ func (s EngineStats) Residual() int {
 // Engine is the streaming online-phase inference engine. Feed it deltas
 // in time order with Process; read the eavesdropped credential with Text.
 type Engine struct {
-	model *Model
-	opts  OnlineOptions
-	stats EngineStats
-	obs   *obs.Tracer
+	model    *Model
+	opts     OnlineOptions
+	stats    EngineStats
+	obs      *obs.Tracer
+	classify func(at sim.Time, v trace.Vec) Verdict
 
 	keys      []InferredKey
 	lastKeyAt sim.Time
@@ -148,11 +149,26 @@ func NewEngine(m *Model, interval sim.Time, opts OnlineOptions) *Engine {
 			maxPx = c[3]
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		model:       m,
 		opts:        opts.withDefaults(interval),
 		meanKeyNorm: m.meanKeyNorm(),
 		bigPx:       1.25 * maxPx,
+	}
+	e.classify = func(_ sim.Time, v trace.Vec) Verdict { return m.ClassifyDenoised(v) }
+	return e
+}
+
+// SetClassify overrides how the engine classifies deltas. fn must be
+// semantically identical to the model's ClassifyDenoised for every input
+// — the serving layer uses this hook to route classification through a
+// cross-request micro-batcher, which amortizes dispatch without changing
+// a single verdict. at is the sim-time of the delta being classified
+// (the batcher's coalescing window keys off it); the verdict itself must
+// depend only on v.
+func (e *Engine) SetClassify(fn func(at sim.Time, v trace.Vec) Verdict) {
+	if fn != nil {
+		e.classify = fn
 	}
 }
 
@@ -192,7 +208,7 @@ func (e *Engine) Process(d trace.Delta) {
 		}
 	}
 
-	v := e.model.ClassifyDenoised(d.V)
+	v := e.classify(d.At, d.V)
 
 	// --- §5.2 app-switch detection ------------------------------------
 	// App switches redraw the full screen in a dense animation burst:
@@ -278,7 +294,7 @@ func (e *Engine) Process(d trace.Delta) {
 		if !e.opts.DisableSplitCombine && e.pending != nil &&
 			d.At-e.pendingLast <= e.opts.SplitWindow && e.pendingChain < 8 {
 			combined := e.pending.V.Add(d.V)
-			cv := e.model.ClassifyDenoised(combined)
+			cv := e.classify(e.pending.At, combined)
 			if cv.IsKey || cv.IsNoise {
 				e.stats.Recombined++
 			}

@@ -64,6 +64,13 @@ type EavesdropRequest struct {
 	// FaultSeed seeds the fault schedule; 0 derives it from Seed, so the
 	// same request always faces the same bit-identical schedule.
 	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// PaceMS, honored only by streaming sessions, inserts a wall-clock
+	// pause of this many milliseconds after every key/retract frame —
+	// a demo/debug knob that makes the stream observable in real time and
+	// gives fleet smoke tests a window to kill a replica mid-session. It
+	// never affects verdicts: the pacing happens between emissions, outside
+	// the sim-time inference. One-shot /v1/eavesdrop ignores it.
+	PaceMS int64 `json:"pace_ms,omitempty"`
 }
 
 // EavesdropResponse is the result of one served eavesdropping run.
@@ -139,6 +146,8 @@ type HealthResponse struct {
 	// Inflight counts requests currently inside the work queues.
 	Inflight int `json:"inflight"`
 	Shards   int `json:"shards"`
+	// Sessions counts resident streaming sessions (created or attached).
+	Sessions int `json:"sessions"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx reply.
@@ -146,6 +155,61 @@ type ErrorResponse struct {
 	Schema string `json:"schema"`
 	Error  string `json:"error"`
 	Status int    `json:"status"`
+}
+
+// SessionResponse is the body of POST /v1/sessions (201) and
+// DELETE /v1/sessions/{id} (200): the session id and, on creation, the
+// path to attach its one SSE stream.
+type SessionResponse struct {
+	Schema string `json:"schema"`
+	ID     string `json:"id"`
+	// Stream is the server-relative path of GET /v1/sessions/{id}/stream.
+	Stream string `json:"stream,omitempty"`
+}
+
+// StreamSchema identifies the wire format of per-event SSE data payloads
+// on a session stream. The closing "result" frame carries the one-shot
+// EavesdropResponse (Schema gpuleak-serve/v1) instead.
+const StreamSchema = "gpuleak-stream/v1"
+
+// StreamEventData is the JSON data payload of one "key" or "retract" SSE
+// frame on a session stream: Algorithm 1's incremental output, one frame
+// per engine commit or withdrawal. Frames are compact JSON so routers can
+// relay them byte-for-byte.
+type StreamEventData struct {
+	Schema string `json:"schema"`
+	// Seq numbers frames from 1 within the stream; it doubles as the SSE
+	// id: field, so a router resuming a broken session can skip frames a
+	// client already holds.
+	Seq uint64 `json:"seq"`
+	// AtUS is the sim-time (microseconds) of the delta that triggered the
+	// event — the stream's own clock, not the wall.
+	AtUS int64 `json:"at_us"`
+	// Kind is "key" or "retract".
+	Kind string `json:"kind"`
+	// Key is the inferred key (Kind "key" only).
+	Key string `json:"key,omitempty"`
+	// Alt is the runner-up key and Margin the distance gap to it, the §7.1
+	// guessing-strategy inputs (Kind "key" only).
+	Alt    string  `json:"alt,omitempty"`
+	Margin float64 `json:"margin,omitempty"`
+	// Keys is how many keys the engine stands behind after this event; a
+	// client holding the stream so far can reconstruct the text by
+	// appending on "key" and truncating to Keys on "retract".
+	Keys int `json:"keys"`
+}
+
+// RoutingKey maps an eavesdrop/session request to its model-shard
+// identity — the registry key of the trained model the request will
+// consult. Replicas agree on it by construction (it is derived purely
+// from the request body), which is what lets a fleet router pin every
+// request for one model onto one replica and keep the others cold.
+func RoutingKey(req EavesdropRequest) (string, error) {
+	scen, err := ResolveScenario(req)
+	if err != nil {
+		return "", err
+	}
+	return Key(TrainConfig(scen.Cfg)), nil
 }
 
 // Scenario is a fully resolved eavesdropping request: the victim

@@ -14,6 +14,8 @@ import (
 	"gpuleak/internal/fault"
 	"gpuleak/internal/kgsl"
 	"gpuleak/internal/obs"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
 	"gpuleak/internal/victim"
 )
 
@@ -63,6 +65,28 @@ type Options struct {
 	// Metrics receives serving counters and registry statistics; nil
 	// allocates a fresh registry (exposed at /metrics either way).
 	Metrics *obs.Metrics
+	// MaxSessions caps resident streaming sessions (default 64). At the
+	// cap, creating a session evicts the oldest never-attached one; when
+	// every resident session is actively streaming, creation answers 429.
+	MaxSessions int
+	// SessionTimer, when non-nil, arms an idle timer per created session:
+	// it must schedule reap to run once after the daemon's idle deadline
+	// and return a stop function. The hook keeps wall-clock ownership in
+	// cmd/gpuleakd — this package stays simtime-clean. Nil disables idle
+	// reaping (the MaxSessions eviction policy still bounds state).
+	SessionTimer func(reap func()) (stop func())
+	// Pacer, when non-nil, implements the stream pacing requested by a
+	// session's pace_ms: it must block for about d or until ctx is done.
+	// Injected by the daemon for the same wall-clock reason as
+	// SessionTimer. Nil ignores pace_ms.
+	Pacer func(ctx context.Context, d time.Duration)
+	// BatchWindow is the micro-batcher's sim-time coalescing window: only
+	// pending classifications whose delta timestamps lie within it may
+	// share one flush. Meaningful only with BatchMax > 0.
+	BatchWindow sim.Time
+	// BatchMax caps one micro-batch flush; 0 disables cross-request
+	// batching entirely (every request classifies inline).
+	BatchMax int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,6 +108,9 @@ func (o Options) withDefaults() Options {
 	if o.Metrics == nil {
 		o.Metrics = obs.NewMetrics()
 	}
+	if o.MaxSessions < 1 {
+		o.MaxSessions = 64
+	}
 	return o
 }
 
@@ -101,11 +128,13 @@ type workShard struct {
 // work queues, and the /v1 endpoints. Create with NewServer, expose with
 // Handler, stop with Shutdown (drains in-flight runs).
 type Server struct {
-	opts Options
-	reg  *Registry
-	work []*workShard
-	mux  *http.ServeMux
-	m    *obs.Metrics
+	opts     Options
+	reg      *Registry
+	work     []*workShard
+	mux      *http.ServeMux
+	m        *obs.Metrics
+	sessions *sessionTable
+	batcher  *Batcher // nil when Options.BatchMax == 0
 
 	mu       sync.Mutex
 	inflight int
@@ -117,10 +146,14 @@ type Server struct {
 func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts: opts,
-		m:    opts.Metrics,
-		mux:  http.NewServeMux(),
-		idle: make(chan struct{}),
+		opts:     opts,
+		m:        opts.Metrics,
+		mux:      http.NewServeMux(),
+		idle:     make(chan struct{}),
+		sessions: newSessionTable(opts.MaxSessions),
+	}
+	if opts.BatchMax > 0 {
+		s.batcher = NewBatcher(opts.Shards, opts.BatchWindow, opts.BatchMax, opts.Metrics)
 	}
 	s.reg = NewRegistry(opts.Shards, opts.CachePerShard, func(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
 		return attack.CollectContext(ctx, cfg, attack.CollectOptions{
@@ -135,6 +168,9 @@ func NewServer(opts Options) *Server {
 		})
 	}
 	s.mux.HandleFunc("POST /v1/eavesdrop", s.handleEavesdrop)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleSessionStream)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
 	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -182,11 +218,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
+	// Unattached sessions will never run: drop them now so their idle
+	// timers stop. Attached streams are in the in-flight count and drain
+	// like any other request.
+	s.sessions.clear()
 	select {
 	case <-s.idle:
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// Close releases the server's background resources (the micro-batch
+// dispatchers). Call it after a clean Shutdown — it assumes no Classify
+// call is still in flight.
+func (s *Server) Close() {
+	if s.batcher != nil {
+		s.batcher.Close()
 	}
 }
 
@@ -258,6 +307,10 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrSessionConsumed):
+		return http.StatusConflict
 	case errors.Is(err, exp.ErrUnknownExperiment):
 		return http.StatusNotFound
 	case errors.Is(err, attack.ErrModelNotTrained):
@@ -324,54 +377,10 @@ func (s *Server) handleEavesdrop(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	var resp EavesdropResponse
-	trainCfg := TrainConfig(scen.Cfg)
-	err = s.do(ctx, s.reg.ShardFor(Key(trainCfg)), func(ctx context.Context) error {
-		var m *attack.Model
+	err = s.do(ctx, s.reg.ShardFor(Key(TrainConfig(scen.Cfg))), func(ctx context.Context) error {
 		var err error
-		if req.PretrainedOnly {
-			m, err = s.reg.Lookup(trainCfg)
-		} else {
-			m, err = s.reg.Get(ctx, trainCfg)
-		}
-		if err != nil {
-			return err
-		}
-		sess := victim.New(scen.Cfg)
-		sess.Run(scen.Script())
-		f, err := sess.Open()
-		if err != nil {
-			return fmt.Errorf("serve: opening device file: %w", err)
-		}
-		atk := attack.New(m)
-		var df attack.DeviceFile = f
-		if scen.Fault.Name != "" {
-			// The request asked for a fault plane: wrap the device and arm
-			// the retry policy, so injected bursts degrade the result
-			// instead of failing the request. Fault-free requests keep the
-			// zero policy and the raw file — their responses stay
-			// byte-identical to the pre-fault-plane wire format.
-			df = fault.NewFile(f, scen.Fault, scen.FaultSeed)
-			atk.Retry = attack.DefaultRetryPolicy()
-		}
-		res, err := atk.EavesdropContext(ctx, df, 0, sess.End)
-		if err != nil {
-			return err
-		}
-		resp = EavesdropResponse{
-			Schema:          Schema,
-			Model:           res.Model.String(),
-			Text:            res.Text,
-			Truth:           sess.TypedText(),
-			Keys:            len(res.Keys),
-			EstimatedLength: res.EstimatedLength,
-			Stats:           res.Stats,
-			Degraded:        res.Degraded,
-		}
-		if res.Degraded {
-			rec := res.Recovery
-			resp.Recovery = &rec
-		}
-		return nil
+		resp, err = s.runEavesdrop(ctx, scen, req, nil)
+		return err
 	})
 	if err != nil {
 		s.writeError(w, err)
@@ -379,6 +388,72 @@ func (s *Server) handleEavesdrop(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.Add("serve.eavesdrops", 1)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// runEavesdrop is the one eavesdropping pipeline behind both the one-shot
+// endpoint and streaming sessions: fetch (or train) the model, simulate
+// the victim session, and run the online phase, forwarding engine events
+// to emit when non-nil. Sharing the implementation is what makes a
+// session's closing "result" frame byte-identical (modulo JSON
+// indentation) to the /v1/eavesdrop body for the same request. Callers
+// hold a work-queue slot (s.do) for the model's shard.
+func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropRequest, emit func(attack.StreamEvent) error) (EavesdropResponse, error) {
+	trainCfg := TrainConfig(scen.Cfg)
+	var m *attack.Model
+	var err error
+	if req.PretrainedOnly {
+		m, err = s.reg.Lookup(trainCfg)
+	} else {
+		m, err = s.reg.Get(ctx, trainCfg)
+	}
+	if err != nil {
+		return EavesdropResponse{}, err
+	}
+	sess := victim.New(scen.Cfg)
+	sess.Run(scen.Script())
+	f, err := sess.Open()
+	if err != nil {
+		return EavesdropResponse{}, fmt.Errorf("serve: opening device file: %w", err)
+	}
+	atk := attack.New(m)
+	if s.batcher != nil {
+		// Route per-delta classification through the model shard's
+		// micro-batch queue. Verdicts are unchanged (the batcher's identity
+		// contract); only the dispatch is shared.
+		shard := s.reg.ShardFor(Key(trainCfg))
+		atk.Classify = func(m *attack.Model, at sim.Time, v trace.Vec) attack.Verdict {
+			return s.batcher.Classify(shard, m, at, v)
+		}
+	}
+	var df attack.DeviceFile = f
+	if scen.Fault.Name != "" {
+		// The request asked for a fault plane: wrap the device and arm
+		// the retry policy, so injected bursts degrade the result
+		// instead of failing the request. Fault-free requests keep the
+		// zero policy and the raw file — their responses stay
+		// byte-identical to the pre-fault-plane wire format.
+		df = fault.NewFile(f, scen.Fault, scen.FaultSeed)
+		atk.Retry = attack.DefaultRetryPolicy()
+	}
+	res, err := atk.EavesdropStreamContext(ctx, df, 0, sess.End, emit)
+	if err != nil {
+		return EavesdropResponse{}, err
+	}
+	resp := EavesdropResponse{
+		Schema:          Schema,
+		Model:           res.Model.String(),
+		Text:            res.Text,
+		Truth:           sess.TypedText(),
+		Keys:            len(res.Keys),
+		EstimatedLength: res.EstimatedLength,
+		Stats:           res.Stats,
+		Degraded:        res.Degraded,
+	}
+	if res.Degraded {
+		rec := res.Recovery
+		resp.Recovery = &rec
+	}
+	return resp, nil
 }
 
 // handleTrain serves POST /v1/train: warm the registry for a
@@ -477,6 +552,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 // draining, with registry and queue statistics either way.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	models, training := s.reg.Stats()
+	resident, _ := s.sessions.stats()
 	resp := HealthResponse{
 		Schema:   Schema,
 		Status:   "ok",
@@ -484,6 +560,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Training: training,
 		Inflight: s.Inflight(),
 		Shards:   s.reg.Shards(),
+		Sessions: resident,
 	}
 	status := http.StatusOK
 	if s.Draining() {
@@ -505,6 +582,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap["registry.training"] = float64(training)
 	snap["registry.evictions"] = float64(Evictions())
 	snap["serve.inflight"] = float64(s.Inflight())
+	resident, streaming := s.sessions.stats()
+	snap["serve.sessions.resident"] = float64(resident)
+	snap["serve.sessions.streaming"] = float64(streaming)
 	w.Header().Set("Content-Type", "application/json")
 	obs.WriteSnapshotJSON(w, snap) //nolint:errcheck // client gone mid-scrape
 }

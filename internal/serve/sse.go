@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"gpuleak/internal/attack"
+)
+
+// sseStream writes one session's Server-Sent-Events response. Frames are
+// `id:`-numbered so a router that lost its backend mid-stream can replay
+// the session on another replica and skip the frames the client already
+// received — deterministic replicas produce byte-identical frames, which
+// makes that splice invisible.
+type sseStream struct {
+	w         http.ResponseWriter
+	flush     http.Flusher
+	sessionID string
+	started   bool
+	seq       uint64
+}
+
+// start writes the SSE response header and the "open" frame. Called
+// lazily by the first emission, so setup errors can still be answered as
+// plain JSON.
+func (st *sseStream) start() error {
+	if st.started {
+		return nil
+	}
+	st.started = true
+	h := st.w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no")
+	st.w.WriteHeader(http.StatusOK)
+	return st.frame("open", SessionResponse{Schema: Schema, ID: st.sessionID})
+}
+
+// frame writes one SSE frame (id/event/data, blank-line terminated) with
+// a compact-JSON data payload and flushes it to the client.
+func (st *sseStream) frame(event string, data any) error {
+	st.seq++
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("serve: encoding %s frame: %w", event, err)
+	}
+	if _, err := fmt.Fprintf(st.w, "id: %d\nevent: %s\ndata: %s\n\n", st.seq, event, payload); err != nil {
+		return fmt.Errorf("serve: writing %s frame: %w", event, err)
+	}
+	if st.flush != nil {
+		st.flush.Flush()
+	}
+	return nil
+}
+
+// event forwards one engine commit/withdrawal as a "key"/"retract" frame.
+func (st *sseStream) event(ev attack.StreamEvent) error {
+	if err := st.start(); err != nil {
+		return err
+	}
+	data := StreamEventData{
+		Schema: StreamSchema,
+		Seq:    st.seq + 1,
+		AtUS:   int64(ev.At),
+		Kind:   ev.Kind,
+		Keys:   ev.Keys,
+	}
+	if ev.Kind == "key" {
+		data.Key = string(ev.Key.R)
+		if ev.Key.Alt != 0 {
+			data.Alt = string(ev.Key.Alt)
+		}
+		data.Margin = ev.Key.Margin
+	}
+	return st.frame(ev.Kind, data)
+}
+
+// result closes the stream with the one-shot response. The data payload
+// is the compact form of exactly the JSON /v1/eavesdrop would have
+// written for the same request, pinned by the root streaming tests.
+func (st *sseStream) result(resp EavesdropResponse) error {
+	if err := st.start(); err != nil {
+		return err
+	}
+	return st.frame("result", resp)
+}
+
+// fail reports an error on an already-started stream as an in-band
+// "error" frame (the HTTP status line has long been sent).
+func (st *sseStream) fail(err error, status int) {
+	st.frame("error", ErrorResponse{Schema: Schema, Error: err.Error(), Status: status}) //nolint:errcheck // client gone: nothing left to report to
+}

@@ -1,0 +1,240 @@
+package gpuleak
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpuleak/internal/serve"
+	"gpuleak/internal/sim"
+)
+
+// sseFrame is one parsed Server-Sent-Events frame from a session stream.
+type sseFrame struct {
+	ID    uint64
+	Event string
+	Data  []byte
+}
+
+// streamSession creates a streaming session for body and consumes its SSE
+// stream to completion, returning the parsed frames in order.
+func streamSession(t *testing.T, url, body string) []sseFrame {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/sessions: %v", err)
+	}
+	var sr serve.SessionResponse
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decoding session response: %v", err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/sessions: status %d", resp.StatusCode)
+	}
+
+	stream, err := http.Get(url + "/v1/sessions/" + sr.ID + "/stream")
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("GET stream: status %d", stream.StatusCode)
+	}
+	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q, want text/event-stream", ct)
+	}
+
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.Event != "" {
+				frames = append(frames, cur)
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, ": "):
+			// Comment frame (router failover notes); carries no data.
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &cur.ID) //nolint:errcheck // malformed ids fail the monotonicity check below
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = []byte(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return frames
+}
+
+// replayStream reconstructs the inferred text from a stream's key/retract
+// frames, the way a live client would: append on "key", truncate to Keys
+// on "retract".
+func replayStream(t *testing.T, frames []sseFrame) string {
+	t.Helper()
+	var text []rune
+	for _, f := range frames {
+		if f.Event != "key" && f.Event != "retract" {
+			continue
+		}
+		var ev serve.StreamEventData
+		if err := json.Unmarshal(f.Data, &ev); err != nil {
+			t.Fatalf("decoding %s frame %s: %v", f.Event, f.Data, err)
+		}
+		if ev.Schema != serve.StreamSchema {
+			t.Fatalf("event schema %q, want %q", ev.Schema, serve.StreamSchema)
+		}
+		if ev.Kind == "key" {
+			text = append(text, []rune(ev.Key)...)
+		}
+		if len(text) < ev.Keys {
+			t.Fatalf("event claims %d keys but replay holds %d", ev.Keys, len(text))
+		}
+		text = text[:ev.Keys]
+	}
+	return string(text)
+}
+
+// TestStreamedEavesdropMatchesOneShot pins the streaming determinism
+// contract: a session's SSE verdict stream carries exactly the incremental
+// output of the one-shot /v1/eavesdrop run for the same request, and its
+// closing "result" frame is the compact form of the one-shot response —
+// at parallelism 1 and at parallelism 8, where every concurrent stream's
+// verdict sequence is byte-identical (only the session id in the "open"
+// frame may differ).
+func TestStreamedEavesdropMatchesOneShot(t *testing.T) {
+	srv := serve.NewServer(serve.Options{Shards: 2, TrainRepeats: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := `{"text":"hunter2","seed":7}`
+
+	oneShotRaw, oneShot := servedEavesdrop(t, ts.URL, body)
+	var oneShotCompact bytes.Buffer
+	if err := json.Compact(&oneShotCompact, oneShotRaw); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(frames []sseFrame) {
+		t.Helper()
+		if len(frames) < 2 {
+			t.Fatalf("stream produced %d frames, want at least open+result", len(frames))
+		}
+		for i, f := range frames {
+			if f.ID != uint64(i+1) {
+				t.Fatalf("frame %d has id %d, want ids numbered from 1", i, f.ID)
+			}
+		}
+		if frames[0].Event != "open" {
+			t.Fatalf("first frame event %q, want open", frames[0].Event)
+		}
+		last := frames[len(frames)-1]
+		if last.Event != "result" {
+			t.Fatalf("last frame event %q, want result", last.Event)
+		}
+		if !bytes.Equal(last.Data, oneShotCompact.Bytes()) {
+			t.Fatalf("result frame differs from one-shot response:\n%s\nvs\n%s",
+				last.Data, oneShotCompact.Bytes())
+		}
+		if got := replayStream(t, frames); got != oneShot.Text {
+			t.Fatalf("replaying the verdict stream yields %q, one-shot text %q", got, oneShot.Text)
+		}
+	}
+
+	// Parallelism 1.
+	serial := streamSession(t, ts.URL, body)
+	check(serial)
+
+	// Parallelism 8: concurrent sessions over the same warm registry. The
+	// verdict sequence after the open frame must match the serial stream
+	// frame for frame, byte for byte.
+	const parallelism = 8
+	streams := make([][]sseFrame, parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < parallelism; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			streams[i] = streamSession(t, ts.URL, body)
+		}(i)
+	}
+	wg.Wait()
+	for i, frames := range streams {
+		check(frames)
+		if len(frames) != len(serial) {
+			t.Fatalf("concurrent stream %d has %d frames, serial stream %d", i, len(frames), len(serial))
+		}
+		for j := 1; j < len(frames); j++ {
+			if frames[j].ID != serial[j].ID || frames[j].Event != serial[j].Event ||
+				!bytes.Equal(frames[j].Data, serial[j].Data) {
+				t.Fatalf("concurrent stream %d frame %d differs from serial:\n%s %s\nvs\n%s %s",
+					i, j, frames[j].Event, frames[j].Data, serial[j].Event, serial[j].Data)
+			}
+		}
+	}
+}
+
+// TestBatchedServingMatchesUnbatched pins the micro-batcher's identity
+// contract end to end through HTTP: a server coalescing classification
+// into cross-request micro-batches answers byte-identically to one that
+// classifies inline, for one-shot and streamed requests alike, under
+// concurrency that actually exercises coalescing.
+func TestBatchedServingMatchesUnbatched(t *testing.T) {
+	plain := httptest.NewServer(serve.NewServer(serve.Options{Shards: 2, TrainRepeats: 2}))
+	defer plain.Close()
+	batchedSrv := serve.NewServer(serve.Options{
+		Shards:       2,
+		TrainRepeats: 2,
+		BatchWindow:  8 * sim.Millisecond,
+		BatchMax:     16,
+	})
+	batched := httptest.NewServer(batchedSrv)
+	defer batchedSrv.Close()
+	defer batched.Close()
+	body := `{"text":"letmein9","seed":11}`
+
+	wantRaw, _ := servedEavesdrop(t, plain.URL, body)
+	wantFrames := streamSession(t, plain.URL, body)
+
+	const parallelism = 8
+	raws := make([][]byte, parallelism)
+	streams := make([][]sseFrame, parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < parallelism; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raws[i], _ = servedEavesdrop(t, batched.URL, body)
+			streams[i] = streamSession(t, batched.URL, body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < parallelism; i++ {
+		if !bytes.Equal(raws[i], wantRaw) {
+			t.Fatalf("batched response %d differs from unbatched response:\n%s\nvs\n%s",
+				i, raws[i], wantRaw)
+		}
+		if len(streams[i]) != len(wantFrames) {
+			t.Fatalf("batched stream %d has %d frames, unbatched stream %d",
+				i, len(streams[i]), len(wantFrames))
+		}
+		for j := 1; j < len(wantFrames); j++ {
+			if !bytes.Equal(streams[i][j].Data, wantFrames[j].Data) {
+				t.Fatalf("batched stream %d frame %d differs from unbatched:\n%s\nvs\n%s",
+					i, j, streams[i][j].Data, wantFrames[j].Data)
+			}
+		}
+	}
+}

@@ -25,9 +25,13 @@
 #                   gpuleakrouter, one streaming session end to end with
 #                   the owning replica SIGKILLed mid-stream (the router
 #                   must re-shard and the replayed stream must still match
-#                   the ground truth), a short -fleet load report
-#                   (gpuleak-load/v1, archived when CI_ARTIFACTS is set),
-#                   then SIGTERM must drain router and survivor to exit 0
+#                   the ground truth — and keep the client-minted trace
+#                   id), a short -fleet load report (gpuleak-load/v1,
+#                   archived when CI_ARTIFACTS is set), a gpuleakstat
+#                   -json -check scrape of the surviving fleet gating on
+#                   error rate and p99 (the gpuleak-metrics/v1 report is
+#                   archived too), then SIGTERM must drain router and
+#                   survivor to exit 0
 #   9. chaos      — fault-injection smoke: cmd/chaos -check asserts the
 #                   none profile is a byte-identical passthrough and that
 #                   injected faults are recovered, never fatal
@@ -141,6 +145,7 @@ trap 'rm -rf "$gpuvet_dir" "$telemetry_dir" "$smoke_dir"' EXIT
 go build -o "$smoke_dir/gpuleakd" ./cmd/gpuleakd
 go build -o "$smoke_dir/loadgen" ./cmd/loadgen
 go build -o "$smoke_dir/gpuleakrouter" ./cmd/gpuleakrouter
+go build -o "$smoke_dir/gpuleakstat" ./cmd/gpuleakstat
 "$smoke_dir/gpuleakd" -addr 127.0.0.1:0 -addr-file "$smoke_dir/gpuleakd.addr" \
     >"$smoke_dir/gpuleakd.log" 2>&1 &
 gpuleakd_pid=$!
@@ -210,6 +215,24 @@ killed_pid=$(cat "$fleet_dir/killed.pid")
 if [ -n "${CI_ARTIFACTS:-}" ]; then
     mkdir -p "$CI_ARTIFACTS"
     cp "$fleet_dir/fleet-report.json" "$CI_ARTIFACTS/fleet-report.json"
+fi
+
+# Observability gate: scrape the router and every replica the ring still
+# reports up, merge the RED rollups, and fail the build if the fleet's
+# error rate or p99 breaches the thresholds. This is where the failover
+# above must show up as metrics (failover counter, evictions) without
+# showing up as errors.
+if ! "$smoke_dir/gpuleakstat" -router "http://$router_addr" -json -check \
+    -out "$fleet_dir/stat-report.json"; then
+    echo "gpuleakstat check failed; report:" >&2
+    cat "$fleet_dir/stat-report.json" >&2 || true
+    fleet_logs
+    kill "$router_pid" "$replica1_pid" "$replica2_pid" 2>/dev/null || true
+    exit 1
+fi
+if [ -n "${CI_ARTIFACTS:-}" ]; then
+    mkdir -p "$CI_ARTIFACTS"
+    cp "$fleet_dir/stat-report.json" "$CI_ARTIFACTS/stat-report.json"
 fi
 
 # Drain: router first (it must finish relaying), then the survivor. The

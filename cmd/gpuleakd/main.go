@@ -60,9 +60,21 @@ func main() {
 	sessionIdle := flag.Duration("session-idle", 30*time.Second, "reap sessions not attached within this window (0 = never)")
 	batchWindow := flag.Duration("batch-window", 8*time.Millisecond, "sim-time coalescing window for cross-request classification micro-batches")
 	batchMax := flag.Int("batch-max", 16, "classifications per micro-batch flush (0 = batching off)")
+	telemetry := flag.Bool("telemetry", false, "record deterministic trace spans for every traced request")
+	traceOut := flag.String("trace-out", "", "write the recorded trace as JSONL to this file at shutdown (implies -telemetry)")
 	flag.Parse()
 
-	metrics := obs.NewMetrics()
+	// -telemetry hangs a tracer off the server: requests that arrive with
+	// (or mint) a trace context record their span tree under the trace's
+	// own track, and -trace-out exports the merged stream at shutdown.
+	var tracer *obs.Tracer
+	var metrics *obs.Metrics
+	if *telemetry || *traceOut != "" {
+		tracer = obs.New()
+		metrics = tracer.Metrics()
+	} else {
+		metrics = obs.NewMetrics()
+	}
 	parallel.ObserveWith(metrics)
 	opts := serve.Options{
 		Shards:          *shards,
@@ -73,6 +85,7 @@ func main() {
 		TrainRepeats:    *trainRepeats,
 		RequestTimeout:  *reqTimeout,
 		Metrics:         metrics,
+		Obs:             tracer,
 		MaxSessions:     *maxSessions,
 		BatchWindow:     sim.Time(batchWindow.Microseconds()),
 		BatchMax:        *batchMax,
@@ -133,5 +146,18 @@ func main() {
 		log.Fatal(err)
 	}
 	<-drained
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace export: %v", err)
+		}
+		if err := obs.WriteJSONL(f, tracer.Events()); err != nil {
+			log.Fatalf("trace export: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace export: %v", err)
+		}
+		log.Printf("trace: %d events written to %s", tracer.Len(), *traceOut)
+	}
 	log.Printf("drained cleanly")
 }

@@ -60,6 +60,26 @@ const routerSchema = "gpuleak-router/v1"
 // hook the fleet smoke test uses to find the replica to kill.
 const backendHeader = "X-Gpuleak-Backend"
 
+// Metric-name vocabulary of the router (declared constants, matching the
+// call-site discipline gpuvet enforces on the internal packages).
+const (
+	mReshards          = "router.reshards"
+	mWarmTrains        = "router.warm_trains"
+	mErrors            = "router.errors"
+	mEvictions         = "router.evictions"
+	mProxied           = "router.proxied"
+	mFrames            = "router.frames"
+	mSessionsCreated   = "router.sessions.created"
+	mSessionsFailovers = "router.sessions.failovers"
+	mSessionsStreamed  = "router.sessions.streamed"
+
+	mReqEavesdrop  = "router.requests.eavesdrop"
+	mReqTrain      = "router.requests.train"
+	mReqExperiment = "router.requests.experiment"
+	mReqSession    = "router.requests.session"
+	mReqStream     = "router.requests.stream"
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gpuleakrouter: ")
@@ -150,6 +170,10 @@ type routedSession struct {
 	key     string
 	state   int // 0 created, 1 streaming, 2 done
 	relayed int // backend frames relayed (backend SSE ids 2..relayed+1)
+	// traceparent is the session's trace context, minted (or accepted)
+	// at create time and re-sent to every replica the stream attaches
+	// to — the failover replay keeps the original trace id.
+	traceparent string
 }
 
 // warmEntry remembers a routing key the fleet has served and which
@@ -300,7 +324,7 @@ func (rt *router) reshard() {
 	rt.mu.Unlock()
 	sort.Slice(moves, func(i, j int) bool { return moves[i].key < moves[j].key })
 	for _, mv := range moves {
-		rt.m.Add("router.reshards", 1)
+		rt.m.Add(mReshards, 1)
 		log.Printf("reshard: %s -> %s (warm replication)", mv.key, mv.to)
 		go func(mv move) {
 			body, _ := json.Marshal(mv.train)
@@ -311,7 +335,7 @@ func (rt *router) reshard() {
 			}
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
 			resp.Body.Close()
-			rt.m.Add("router.warm_trains", 1)
+			rt.m.Add(mWarmTrains, 1)
 		}(mv)
 	}
 }
@@ -330,7 +354,7 @@ func (rt *router) recordWarm(key, owner string, req serve.EavesdropRequest) {
 }
 
 func (rt *router) writeError(w http.ResponseWriter, status int, err error) {
-	rt.m.Add("router.errors", 1)
+	rt.m.Add(mErrors, 1)
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
@@ -347,21 +371,44 @@ func (rt *router) owners(key string) []string {
 	return rt.ms.Owners(key, 1+rt.failovers)
 }
 
+// traceparentFor resolves the traceparent a routed request carries
+// downstream: an inbound header wins (the client owns the trace),
+// otherwise the router mints one from the request seed — the identical
+// derivation replicas use, so every hop agrees on the trace id without
+// coordination.
+func traceparentFor(r *http.Request, seed int64) string {
+	if tc, ok := obs.ParseTraceparent(r.Header.Get(serve.TraceparentHeader)); ok {
+		return tc.Traceparent()
+	}
+	return obs.NewTrace(seed).Traceparent()
+}
+
 // proxy forwards body to path on the first candidate that accepts the
 // connection, evicting candidates whose transport fails. Any HTTP
 // response (success or error) is relayed as-is with the serving backend
-// named in the response header.
-func (rt *router) proxy(w http.ResponseWriter, path string, body []byte, candidates []string) {
+// named in the response header. A non-empty traceparent rides the
+// forwarded request so the replica joins the router's trace instead of
+// minting its own.
+func (rt *router) proxy(w http.ResponseWriter, path string, body []byte, candidates []string, traceparent string) {
 	if len(candidates) == 0 {
 		rt.writeError(w, http.StatusServiceUnavailable, errors.New("router: no replica up for key"))
 		return
 	}
 	for _, backend := range candidates {
-		resp, err := rt.client.Post(backend+path, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, backend+path, bytes.NewReader(body))
+		if err != nil {
+			rt.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set(serve.TraceparentHeader, traceparent)
+		}
+		resp, err := rt.client.Do(req)
 		if err != nil {
 			log.Printf("proxy %s: %s unreachable, evicting: %v", path, backend, err)
 			rt.ms.Evict(backend)
-			rt.m.Add("router.evictions", 1)
+			rt.m.Add(mEvictions, 1)
 			continue
 		}
 		defer resp.Body.Close()
@@ -373,9 +420,12 @@ func (rt *router) proxy(w http.ResponseWriter, path string, body []byte, candida
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			h.Set("Retry-After", ra)
 		}
+		if tp := resp.Header.Get(serve.TraceparentHeader); tp != "" {
+			h.Set(serve.TraceparentHeader, tp)
+		}
 		w.WriteHeader(resp.StatusCode)
 		io.Copy(w, resp.Body) //nolint:errcheck // client gone: nothing left to report to
-		rt.m.Add("router.proxied", 1)
+		rt.m.Add(mProxied, 1)
 		return
 	}
 	rt.writeError(w, http.StatusServiceUnavailable, errors.New("router: every candidate replica failed"))
@@ -402,11 +452,12 @@ func (rt *router) handleEavesdrop(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	rt.m.Add(mReqEavesdrop, 1)
 	cands := rt.owners(key)
 	if len(cands) > 0 {
 		rt.recordWarm(key, cands[0], req)
 	}
-	rt.proxy(w, "/v1/eavesdrop", body, cands)
+	rt.proxy(w, "/v1/eavesdrop", body, cands, traceparentFor(r, req.Seed))
 }
 
 func (rt *router) handleTrain(w http.ResponseWriter, r *http.Request) {
@@ -433,11 +484,14 @@ func (rt *router) handleTrain(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	rt.m.Add(mReqTrain, 1)
 	cands := rt.owners(key)
 	if len(cands) > 0 {
 		rt.recordWarm(key, cands[0], eq)
 	}
-	rt.proxy(w, "/v1/train", body, cands)
+	// Training has no seed of its own; forward a trace only when the
+	// client brought one.
+	rt.proxy(w, "/v1/train", body, cands, r.Header.Get(serve.TraceparentHeader))
 }
 
 func (rt *router) handleExperiment(w http.ResponseWriter, r *http.Request) {
@@ -456,7 +510,8 @@ func (rt *router) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("router: decoding body: %w", err))
 		return
 	}
-	rt.proxy(w, "/v1/experiment", body, rt.owners("exp/"+req.ID))
+	rt.m.Add(mReqExperiment, 1)
+	rt.proxy(w, "/v1/experiment", body, rt.owners("exp/"+req.ID), r.Header.Get(serve.TraceparentHeader))
 }
 
 func (rt *router) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -498,9 +553,41 @@ func (rt *router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(resp) //nolint:errcheck // client gone mid-scrape
 }
 
+// gauges reports the router's point-in-time state alongside the counter
+// snapshot: fleet size actually up, sessions awaiting/holding a stream,
+// and requests in flight.
+func (rt *router) gauges() map[string]float64 {
+	up := 0
+	for _, st := range rt.ms.All() {
+		if st.State == ring.StateUp {
+			up++
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return map[string]float64{
+		"router.backends_up":       float64(up),
+		"router.sessions.resident": float64(len(rt.sessions)),
+		"router.inflight":          float64(rt.inflight),
+	}
+}
+
 func (rt *router) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	obs.WriteSnapshotJSON(w, rt.m.Snapshot()) //nolint:errcheck // client gone mid-scrape
+	g := rt.gauges()
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		snap := rt.m.Snapshot()
+		for k, v := range g {
+			snap[k] = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteSnapshotJSON(w, snap) //nolint:errcheck // client gone mid-scrape
+	case "prom":
+		w.Header().Set("Content-Type", obs.PromContentType)
+		rt.m.WriteProm(w, g) //nolint:errcheck // client gone mid-scrape
+	default:
+		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("router: unknown metrics format %q", r.URL.Query().Get("format")))
+	}
 }
 
 // handleSessionCreate registers a streaming session with the router (the
@@ -530,13 +617,15 @@ func (rt *router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Lock()
 	rt.nextSess++
 	sess := &routedSession{
-		id:   fmt.Sprintf("r-%08d", rt.nextSess),
-		body: body,
-		key:  key,
+		id:          fmt.Sprintf("r-%08d", rt.nextSess),
+		body:        body,
+		key:         key,
+		traceparent: traceparentFor(r, req.Seed),
 	}
 	rt.sessions[sess.id] = sess
 	rt.mu.Unlock()
-	rt.m.Add("router.sessions.created", 1)
+	rt.m.Add(mSessionsCreated, 1)
+	rt.m.Add(mReqSession, 1)
 	if owner, ok := rt.ms.Owner(key); ok {
 		w.Header().Set(backendHeader, owner)
 		rt.recordWarm(key, owner, req)
@@ -581,6 +670,7 @@ func (rt *router) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		delete(rt.sessions, id)
 		rt.mu.Unlock()
 	}()
+	rt.m.Add(mReqStream, 1)
 
 	flusher, _ := w.(http.Flusher)
 	started := false
@@ -593,7 +683,7 @@ func (rt *router) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if attempt > 0 {
-			rt.m.Add("router.sessions.failovers", 1)
+			rt.m.Add(mSessionsFailovers, 1)
 			fmt.Fprintf(w, ": failover to %s after %d frames\n\n", owner, sess.relayed)
 			if flusher != nil {
 				flusher.Flush()
@@ -601,14 +691,14 @@ func (rt *router) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		}
 		done, err := rt.relayOnce(r.Context(), w, flusher, sess, owner, &started)
 		if done {
-			rt.m.Add("router.sessions.streamed", 1)
+			rt.m.Add(mSessionsStreamed, 1)
 			return
 		}
 		lastErr = err
 		log.Printf("session %s: replica %s failed mid-stream (%d frames relayed): %v",
 			id, owner, sess.relayed, err)
 		rt.ms.Evict(owner)
-		rt.m.Add("router.evictions", 1)
+		rt.m.Add(mEvictions, 1)
 	}
 	if lastErr == nil {
 		lastErr = errors.New("router: session relay failed")
@@ -634,7 +724,17 @@ func (rt *router) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 func (rt *router) relayOnce(ctx context.Context, w http.ResponseWriter, flusher http.Flusher, sess *routedSession, owner string, started *bool) (done bool, err error) {
 	// Re-create the session on the owner. Deterministic replicas make
 	// this replay safe: the new session's frames are byte-identical.
-	resp, err := rt.client.Post(owner+"/v1/sessions", "application/json", bytes.NewReader(sess.body))
+	// The session's traceparent rides every replay, so a failover
+	// replica records its spans under the original trace id.
+	create, err := http.NewRequest(http.MethodPost, owner+"/v1/sessions", bytes.NewReader(sess.body))
+	if err != nil {
+		return false, err
+	}
+	create.Header.Set("Content-Type", "application/json")
+	if sess.traceparent != "" {
+		create.Header.Set(serve.TraceparentHeader, sess.traceparent)
+	}
+	resp, err := rt.client.Do(create)
 	if err != nil {
 		return false, err
 	}
@@ -669,6 +769,12 @@ func (rt *router) relayOnce(ctx context.Context, w http.ResponseWriter, flusher 
 		h.Set("Cache-Control", "no-store")
 		h.Set(backendHeader, owner)
 		w.WriteHeader(http.StatusOK)
+		// Comment frames are never relayed from the backend, so the router
+		// announces the trace context itself — same ordering as a replica:
+		// traceparent comment first, then the open frame.
+		if sess.traceparent != "" {
+			fmt.Fprintf(w, ": traceparent %s\n\n", sess.traceparent)
+		}
 		// The router speaks the open frame itself (the backend's carries
 		// its local session id); every later frame is relayed verbatim.
 		data, _ := json.Marshal(serve.SessionResponse{Schema: routerSchema, ID: sess.id})
@@ -709,7 +815,7 @@ func (rt *router) relayOnce(ctx context.Context, w http.ResponseWriter, flusher 
 				flusher.Flush()
 			}
 			sess.relayed = frameID - 1
-			rt.m.Add("router.frames", 1)
+			rt.m.Add(mFrames, 1)
 		}
 		finished := frameEvent == "result" || frameEvent == "error"
 		frame.Reset()

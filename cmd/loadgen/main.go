@@ -43,7 +43,15 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"gpuleak/internal/obs"
 )
+
+// traceparentHeader mirrors serve.TraceparentHeader: loadgen mints the
+// trace at the edge (from the request seed, the same derivation every
+// hop uses) so the router and replica spans land under the client's
+// trace instead of one minted mid-fleet.
+const traceparentHeader = "traceparent"
 
 type eavesdropRequest struct {
 	Device       string `json:"device,omitempty"`
@@ -256,8 +264,14 @@ func oneRequest(client *http.Client, addr string, req eavesdropRequest) outcome 
 	if err != nil {
 		return outcome{}
 	}
+	hreq, err := http.NewRequest(http.MethodPost, addr+"/v1/eavesdrop", bytes.NewReader(body))
+	if err != nil {
+		return outcome{}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(traceparentHeader, obs.NewTrace(req.Seed).Traceparent())
 	start := time.Now()
-	resp, err := client.Post(addr+"/v1/eavesdrop", "application/json", bytes.NewReader(body))
+	resp, err := client.Do(hreq)
 	if err != nil {
 		return outcome{}
 	}
@@ -333,13 +347,14 @@ type streamEvent struct {
 
 // sessionOutcome aggregates one streamed session.
 type sessionOutcome struct {
-	status    int // session-create status (0 = transport error)
-	correct   bool
-	frames    int
-	failovers int
-	lat       time.Duration
-	backend   string
-	err       error
+	status      int // session-create status (0 = transport error)
+	correct     bool
+	frames      int
+	failovers   int
+	lat         time.Duration
+	backend     string
+	traceparent string // trace context the stream announced in its opening comment
+	err         error
 }
 
 // runSession creates one streaming session, attaches its SSE stream, and
@@ -352,8 +367,14 @@ func runSession(client *http.Client, addr string, req eavesdropRequest, onBacken
 	if err != nil {
 		return sessionOutcome{err: err}
 	}
+	create, err := http.NewRequest(http.MethodPost, addr+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return sessionOutcome{err: err}
+	}
+	create.Header.Set("Content-Type", "application/json")
+	create.Header.Set(traceparentHeader, obs.NewTrace(req.Seed).Traceparent())
 	start := time.Now()
-	resp, err := client.Post(addr+"/v1/sessions", "application/json", bytes.NewReader(body))
+	resp, err := client.Do(create)
 	if err != nil {
 		return sessionOutcome{err: err}
 	}
@@ -393,6 +414,9 @@ func runSession(client *http.Client, addr string, req eavesdropRequest, onBacken
 		switch {
 		case strings.HasPrefix(line, ": failover"):
 			o.failovers++
+			continue
+		case strings.HasPrefix(line, ": traceparent "):
+			o.traceparent = strings.TrimPrefix(line, ": traceparent ")
 			continue
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
@@ -622,7 +646,14 @@ func runFleetSmoke(client *http.Client, addr, text string, seed, paceMS int64, r
 	if !o.correct {
 		return fmt.Errorf("fleet smoke: post-failover result does not match ground truth")
 	}
-	log.Printf("fleet smoke: stream survived the kill (%d frames, %d failover[s], result matches truth)",
+	// Trace continuity: the stream's announced trace context must be the
+	// one this client minted — a failover that re-minted the trace would
+	// split one session across two trace ids.
+	wantTP := obs.NewTrace(seed).Traceparent()
+	if o.traceparent != wantTP {
+		return fmt.Errorf("fleet smoke: stream announced traceparent %q, want the client-minted %q", o.traceparent, wantTP)
+	}
+	log.Printf("fleet smoke: stream survived the kill (%d frames, %d failover[s], result matches truth, trace id held)",
 		o.frames, o.failovers)
 	if killedFile != "" {
 		if err := os.WriteFile(killedFile, []byte(fmt.Sprintf("%d\n", killed)), 0o644); err != nil {

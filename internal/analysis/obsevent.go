@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -20,11 +21,15 @@ import (
 //  3. Emit/Start with a name expression that is not a package-level
 //     variable cannot be traced back to a registration site;
 //  4. sim.Time conversions of wall-clock (package time) values in the
-//     timestamp argument smuggle nondeterminism into the stream.
+//     timestamp argument smuggle nondeterminism into the stream;
+//  5. inline string literals naming metrics at Add/Observe/
+//     ObserveExemplar/Counter call sites scatter the metric namespace
+//     across the code — names must come from declared constants (or
+//     functions over them), one greppable block per package.
 var ObsEvent = &Analyzer{
 	Name:     "obsevent",
 	Category: "determinism",
-	Doc:      "obs event names must be package-level obs.NewName registrations; Emit/Start timestamps must not derive from the wall clock",
+	Doc:      "obs event names must be package-level obs.NewName registrations; Emit/Start timestamps must not derive from the wall clock; metric names must be declared constants, not inline literals",
 	Applies: func(pkgPath string) bool {
 		// The obs package itself converts names when parsing streams.
 		return isInternalPath(pkgPath) && !strings.HasSuffix(pkgPath, "internal/obs")
@@ -83,6 +88,8 @@ func runObsEvent(p *Pass) {
 				}
 			case (fn.Name() == "Emit" || fn.Name() == "Start") && isObsPkg(fn.Pkg()) && fn.Type().(*types.Signature).Recv() != nil:
 				checkEmitCall(p, call, fn.Name())
+			case isMetricsMethod(fn):
+				checkMetricName(p, call, fn.Name())
 			}
 			return true
 		})
@@ -133,6 +140,51 @@ func checkEmitCall(p *Pass, call *ast.CallExpr, what string) {
 		if named, isNamed := t.(*types.Named); isNamed &&
 			named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time" {
 			p.Reportf(id.Pos(), "%s timestamp derives from a package-time value: derive event times from sim.Time, never the wall clock", what)
+			reported = true
+			return false
+		}
+		return true
+	})
+}
+
+// isMetricsMethod reports whether fn is one of the obs.Metrics recording
+// methods whose first argument names a metric.
+func isMetricsMethod(fn *types.Func) bool {
+	if fn == nil || !isObsPkg(fn.Pkg()) {
+		return false
+	}
+	switch fn.Name() {
+	case "Add", "Observe", "ObserveExemplar", "Counter":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	return isNamed && named.Obj().Name() == "Metrics"
+}
+
+// checkMetricName validates one Metrics.Add/Observe/ObserveExemplar/
+// Counter call site: the name argument (index 0) must contain no string
+// literal. Declared constants, selectors, and helper functions that map
+// onto constants all pass; "pkg.thing" and "pkg."+kind do not.
+func checkMetricName(p *Pass, call *ast.CallExpr, what string) {
+	if len(call.Args) < 1 {
+		return
+	}
+	reported := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		if lit, isLit := n.(*ast.BasicLit); isLit && lit.Kind == token.STRING {
+			p.Reportf(lit.Pos(), "%s metric name contains an inline string literal: declare the name as a package-level constant so the metric namespace stays in one block", what)
 			reported = true
 			return false
 		}

@@ -30,3 +30,12 @@ func WallClock(tr *obs.Tracer, d time.Duration) {
 	sp := tr.Start(sim.Time(d), evOK)         // WANT
 	sp.End(0)
 }
+
+// MetricLiteral names metrics with inline strings, scattering the
+// namespace across call sites instead of one declared block.
+func MetricLiteral(m *obs.Metrics, kind string, v float64) {
+	m.Add("oebad.count", 1)                // WANT
+	m.Observe("oebad.lat", v)              // WANT
+	m.ObserveExemplar("oebad.lat2", v, "") // WANT
+	m.Add("oebad."+kind, 1)                // WANT
+}

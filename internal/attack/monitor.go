@@ -159,7 +159,7 @@ func (a *Attack) MonitorAndEavesdrop(f DeviceFile, start, end sim.Time, opts Mon
 		}
 	}
 	idle.AddField(obs.Int("idle_reads", out.IdleReads))
-	a.Obs.Metrics().Add("monitor.idle_reads", int64(out.IdleReads))
+	a.Obs.Metrics().Add(mMonitorIdleReads, int64(out.IdleReads))
 	if detected == nil {
 		idle.End(end)
 		return out, nil

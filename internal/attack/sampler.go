@@ -156,15 +156,15 @@ func (s *Sampler) CollectContext(ctx context.Context, start, end sim.Time) (*tra
 		tr.Append(sm)
 	}
 	if s.Obs != nil {
-		s.Obs.Metrics().Add("sampler.reads", int64(tr.Len()))
+		s.Obs.Metrics().Add(mSamplerReads, int64(tr.Len()))
 		if s.Stats.Retries > 0 {
-			s.Obs.Metrics().Add("sampler.retries", int64(s.Stats.Retries))
+			s.Obs.Metrics().Add(mSamplerRetries, int64(s.Stats.Retries))
 		}
 		if s.Stats.ReReservations > 0 {
-			s.Obs.Metrics().Add("sampler.rereservations", int64(s.Stats.ReReservations))
+			s.Obs.Metrics().Add(mSamplerRereservations, int64(s.Stats.ReReservations))
 		}
 		if s.Stats.DroppedTicks > 0 {
-			s.Obs.Metrics().Add("sampler.dropped_ticks", int64(s.Stats.DroppedTicks))
+			s.Obs.Metrics().Add(mSamplerDroppedTicks, int64(s.Stats.DroppedTicks))
 		}
 		sp.AddField(obs.Int("samples", tr.Len()))
 		sp.End(t - s.Interval)

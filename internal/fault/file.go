@@ -31,6 +31,19 @@ var (
 	evTick = obs.NewName("fault.tick")
 )
 
+// Metric-name vocabulary of the fault plane: one counter per injected
+// fault kind, mapped from the kind string by faultMetric.
+const (
+	mFaultClosed  = "fault.closed"
+	mFaultBusy    = "fault.busy"
+	mFaultInval   = "fault.inval"
+	mFaultRevoked = "fault.revoked"
+	mFaultWrap    = "fault.wrap"
+	mFaultDrop    = "fault.drop"
+	mFaultLate    = "fault.late"
+	mFaultOther   = "fault.other"
+)
+
 // InjectedStats counts the faults a File actually injected. The counters
 // are inputs to the chaos report: recovery is judged by comparing them
 // against the sampler's CollectStats (every injection either retried away
@@ -103,12 +116,36 @@ func NewFile(dev Device, p Profile, seed int64) *File {
 // Profile returns the (defaulted) profile driving this plane.
 func (f *File) Profile() Profile { return f.p }
 
+// faultMetric maps an injected fault kind onto its counter name. The
+// counter namespace is the closed set of kinds this plane injects — a
+// named mapping rather than ad-hoc concatenation, so the obsevent
+// analyzer can hold call sites to registered constants.
+func faultMetric(kind string) string {
+	switch kind {
+	case "closed":
+		return mFaultClosed
+	case "busy":
+		return mFaultBusy
+	case "inval":
+		return mFaultInval
+	case "revoked":
+		return mFaultRevoked
+	case "wrap":
+		return mFaultWrap
+	case "drop":
+		return mFaultDrop
+	case "late":
+		return mFaultLate
+	}
+	return mFaultOther
+}
+
 func (f *File) emitOp(t sim.Time, op, kind string) {
 	if f.Obs == nil {
 		return
 	}
 	f.Obs.Emit(t, evInject, obs.Str("op", op), obs.Str("kind", kind))
-	f.Obs.Metrics().Add("fault."+kind, 1)
+	f.Obs.Metrics().Add(faultMetric(kind), 1)
 }
 
 // opFault draws the per-operation fault classes shared by every entry
@@ -217,7 +254,7 @@ func (f *File) TickFault(tick int, t sim.Time) (delay sim.Time, drop bool) {
 		f.Stats.DroppedTicks++
 		if f.Obs != nil {
 			f.Obs.Emit(t, evTick, obs.Int("tick", tick), obs.Str("kind", "drop"))
-			f.Obs.Metrics().Add("fault.drop", 1)
+			f.Obs.Metrics().Add(mFaultDrop, 1)
 		}
 		return 0, true
 	}
@@ -230,7 +267,7 @@ func (f *File) TickFault(tick int, t sim.Time) (delay sim.Time, drop bool) {
 		if f.Obs != nil {
 			f.Obs.Emit(t, evTick, obs.Int("tick", tick), obs.Str("kind", "late"),
 				obs.Int("delay_us", int(d)))
-			f.Obs.Metrics().Add("fault.late", 1)
+			f.Obs.Metrics().Add(mFaultLate, 1)
 		}
 		return d, false
 	}

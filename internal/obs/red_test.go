@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotBucketSeries pins the flat-key bucket encoding satellite 2
+// adds: cumulative counts under <name>_bucket_le_<boundary>, one key per
+// fixed boundary, byte-stable through WriteSnapshotJSON.
+func TestSnapshotBucketSeries(t *testing.T) {
+	m := NewMetrics()
+	for _, v := range []float64{0.5, 3, 3, 40, 70000} {
+		m.Observe("lat", v)
+	}
+	snap := m.Snapshot()
+	if snap["lat_bucket_le_1"] != 1 {
+		t.Fatalf("le_1 = %v, want 1", snap["lat_bucket_le_1"])
+	}
+	if snap["lat_bucket_le_5"] != 3 {
+		t.Fatalf("le_5 = %v, want 3 (cumulative)", snap["lat_bucket_le_5"])
+	}
+	if snap["lat_bucket_le_50"] != 4 {
+		t.Fatalf("le_50 = %v, want 4", snap["lat_bucket_le_50"])
+	}
+	// The overflow sample (70000 > last boundary) appears only in .count.
+	if snap["lat_bucket_le_60000"] != 4 || snap["lat.count"] != 5 {
+		t.Fatalf("overflow handling: le_60000=%v count=%v", snap["lat_bucket_le_60000"], snap["lat.count"])
+	}
+	for _, b := range DefaultBuckets {
+		if _, ok := snap["lat_bucket_le_"+bucketLabel(b)]; !ok {
+			t.Fatalf("missing bucket key for boundary %v", b)
+		}
+	}
+	// Two registries fed the same samples render byte-identically.
+	m2 := NewMetrics()
+	for _, v := range []float64{70000, 40, 3, 3, 0.5} { // different order
+		m2.Observe("lat", v)
+	}
+	var a, b bytes.Buffer
+	if err := m.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshot JSON order-dependent:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestExemplarRetention pins the deterministic exemplar rule: a bucket
+// keeps its largest sample's trace id, ties breaking toward the smaller
+// trace id regardless of arrival order.
+func TestExemplarRetention(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveExemplar("lat", 3, "trace-b")
+	m.ObserveExemplar("lat", 4, "trace-c") // larger value wins the 2.5–5 bucket
+	m.ObserveExemplar("lat", 4, "trace-a") // tie: smaller trace id wins
+	m.ObserveExemplar("lat", 80000, "trace-inf")
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `gpuleak_lat_bucket{le="5"} 3 # {trace_id="trace-a"} 4`) {
+		t.Fatalf("exemplar not retained deterministically:\n%s", out)
+	}
+	if strings.Contains(out, "trace-inf") {
+		t.Fatalf("overflow sample produced an exemplar:\n%s", out)
+	}
+}
+
+// TestWritePromRendering pins the text exposition shape for all three
+// families (gauge, counter, histogram) on a small fixed registry.
+func TestWritePromRendering(t *testing.T) {
+	m := NewMetrics()
+	m.Add("serve.eavesdrops", 2)
+	m.ObserveExemplar("serve.latency_ms.eavesdrop", 750, "0af7651916cd43dd8448eb211c80319c")
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf, map[string]float64{"serve.inflight": 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE gpuleak_serve_inflight gauge\ngpuleak_serve_inflight 1\n",
+		"# TYPE gpuleak_serve_eavesdrops counter\ngpuleak_serve_eavesdrops 2\n",
+		"# TYPE gpuleak_serve_latency_ms_eavesdrop histogram\n",
+		`gpuleak_serve_latency_ms_eavesdrop_bucket{le="500"} 0` + "\n",
+		`gpuleak_serve_latency_ms_eavesdrop_bucket{le="1000"} 1 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 750` + "\n",
+		`gpuleak_serve_latency_ms_eavesdrop_bucket{le="+Inf"} 1` + "\n",
+		"gpuleak_serve_latency_ms_eavesdrop_sum 750\n",
+		"gpuleak_serve_latency_ms_eavesdrop_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Rendering is deterministic.
+	var again bytes.Buffer
+	if err := m.WriteProm(&again, map[string]float64{"serve.inflight": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("prom rendering not byte-stable")
+	}
+	// A nil registry renders gauges only.
+	var nilBuf bytes.Buffer
+	var nilM *Metrics
+	if err := nilM.WriteProm(&nilBuf, map[string]float64{"up": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := nilBuf.String(); got != "# TYPE gpuleak_up gauge\ngpuleak_up 1\n" {
+		t.Fatalf("nil registry prom output:\n%s", got)
+	}
+}
+
+// TestHistogramFromSnapshotAndQuantile pins the scrape-side math
+// gpuleakstat runs: reassembling a bucket series from flat keys and
+// estimating quantiles by in-bucket interpolation.
+func TestHistogramFromSnapshotAndQuantile(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 90; i++ {
+		m.Observe("lat", 4) // 2.5–5 bucket
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe("lat", 200) // 100–250 bucket
+	}
+	bs, ok := HistogramFromSnapshot(m.Snapshot(), "lat")
+	if !ok {
+		t.Fatal("histogram not found in snapshot")
+	}
+	if len(bs.Bounds) != len(DefaultBuckets) || bs.Count != 100 {
+		t.Fatalf("series shape: %d bounds, count %v", len(bs.Bounds), bs.Count)
+	}
+	if !sortedAscending(bs.Bounds) {
+		t.Fatalf("bounds unsorted: %v", bs.Bounds)
+	}
+	p50 := bs.Quantile(0.50)
+	if p50 < 2.5 || p50 > 5 {
+		t.Fatalf("p50 = %v, want within the 2.5–5 bucket", p50)
+	}
+	p99 := bs.Quantile(0.99)
+	if p99 < 100 || p99 > 250 {
+		t.Fatalf("p99 = %v, want within the 100–250 bucket", p99)
+	}
+	if got := (BucketSeries{}).Quantile(0.99); got != 0 {
+		t.Fatalf("empty series quantile = %v", got)
+	}
+	if _, ok := HistogramFromSnapshot(m.Snapshot(), "missing"); ok {
+		t.Fatal("found a histogram that was never observed")
+	}
+}
+
+func sortedAscending(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeSnapshots pins the fleet-merge aggregation rules: sums for
+// counters and bucket series, min/max respected, means recomputed.
+func TestMergeSnapshots(t *testing.T) {
+	a := NewMetrics()
+	a.Add("serve.eavesdrops", 3)
+	a.Observe("lat", 2)
+	a.Observe("lat", 4)
+	b := NewMetrics()
+	b.Add("serve.eavesdrops", 1)
+	b.Observe("lat", 10)
+
+	fleet := map[string]float64{}
+	MergeSnapshots(fleet, a.Snapshot())
+	MergeSnapshots(fleet, b.Snapshot())
+
+	if fleet["serve.eavesdrops"] != 4 {
+		t.Fatalf("counter merge: %v", fleet["serve.eavesdrops"])
+	}
+	if fleet["lat.count"] != 3 || fleet["lat.sum"] != 16 {
+		t.Fatalf("histogram scalar merge: count=%v sum=%v", fleet["lat.count"], fleet["lat.sum"])
+	}
+	if fleet["lat.min"] != 2 || fleet["lat.max"] != 10 {
+		t.Fatalf("min/max merge: min=%v max=%v", fleet["lat.min"], fleet["lat.max"])
+	}
+	if math.Abs(fleet["lat.mean"]-16.0/3) > 1e-12 {
+		t.Fatalf("mean not recomputed from merged sum/count: %v", fleet["lat.mean"])
+	}
+	if fleet["lat_bucket_le_5"] != 2 || fleet["lat_bucket_le_10"] != 3 {
+		t.Fatalf("bucket merge: le_5=%v le_10=%v", fleet["lat_bucket_le_5"], fleet["lat_bucket_le_10"])
+	}
+}

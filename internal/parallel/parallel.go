@@ -29,6 +29,16 @@ import (
 // the deterministic event stream.
 var poolMetrics atomic.Pointer[obs.Metrics]
 
+// Metric-name vocabulary of the pool (registered constants, per the
+// gpuvet obsevent call-site rule).
+const (
+	mBatches      = "parallel.batches"
+	mTasks        = "parallel.tasks"
+	mBatchWorkers = "parallel.batch_workers"
+	mWorkerTasks  = "parallel.worker_tasks"
+	mQueueDepth   = "parallel.queue_depth"
+)
+
 // ObserveWith routes pool statistics (batches, tasks, queue depth,
 // per-worker utilization) into a metrics registry; nil disables. Set it
 // before fanning out work.
@@ -69,9 +79,9 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 	}
 	m := poolMetrics.Load()
 	if m != nil {
-		m.Add("parallel.batches", 1)
-		m.Add("parallel.tasks", int64(n))
-		m.Observe("parallel.batch_workers", float64(workers))
+		m.Add(mBatches, 1)
+		m.Add(mTasks, int64(n))
+		m.Observe(mBatchWorkers, float64(workers))
 	}
 	errs := make([]error, n)
 	issued := n
@@ -86,7 +96,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 			ran++
 		}
 		if m != nil {
-			m.Observe("parallel.worker_tasks", float64(ran))
+			m.Observe(mWorkerTasks, float64(ran))
 		}
 	} else {
 		var next atomic.Int64
@@ -103,14 +113,14 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 					}
 					if m != nil {
 						// Queue depth at grab time: tasks not yet handed out.
-						m.Observe("parallel.queue_depth", float64(n-i-1))
+						m.Observe(mQueueDepth, float64(n-i-1))
 					}
 					errs[i] = fn(i)
 					ran++
 				}
 				if m != nil {
 					// Per-worker utilization: how evenly the batch spread.
-					m.Observe("parallel.worker_tasks", float64(ran))
+					m.Observe(mWorkerTasks, float64(ran))
 				}
 			}()
 		}

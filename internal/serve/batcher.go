@@ -148,9 +148,10 @@ func (b *Batcher) flush(batch []*classifyJob) {
 	for _, j := range batch {
 		j.reply <- j.m.ClassifyDenoised(j.v)
 	}
-	b.m.Add("serve.batch.flushes", 1)
-	b.m.Add("serve.batch.jobs", int64(len(batch)))
+	b.m.Add(mBatchFlushes, 1)
+	b.m.Add(mBatchJobs, int64(len(batch)))
+	b.m.Observe(mBatchOccupancy, float64(len(batch)))
 	if len(batch) > 1 {
-		b.m.Add("serve.batch.coalesced", int64(len(batch)-1))
+		b.m.Add(mBatchCoalesced, int64(len(batch)-1))
 	}
 }

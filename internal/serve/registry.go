@@ -114,7 +114,7 @@ func (r *Registry) Get(ctx context.Context, cfg victim.Config) (*attack.Model, e
 		sh.seq++
 		e.lastUse = sh.seq
 		sh.mu.Unlock()
-		r.m.Add("registry.hits", 1)
+		r.m.Add(mRegistryHits, 1)
 		select {
 		case <-e.ready:
 			return e.m, e.err
@@ -128,7 +128,7 @@ func (r *Registry) Get(ctx context.Context, cfg victim.Config) (*attack.Model, e
 	sh.entries[key] = e
 	sh.evict(r.cap)
 	sh.mu.Unlock()
-	r.m.Add("registry.misses", 1)
+	r.m.Add(mRegistryMisses, 1)
 
 	m, err := r.train(ctx, cfg)
 	e.m, e.err = m, err
@@ -146,7 +146,7 @@ func (r *Registry) Get(ctx context.Context, cfg victim.Config) (*attack.Model, e
 	if err != nil {
 		return nil, fmt.Errorf("serve: training %s: %w", key, err)
 	}
-	r.m.Add("registry.trained", 1)
+	r.m.Add(mRegistryTrained, 1)
 	return m, nil
 }
 
@@ -162,12 +162,12 @@ func (r *Registry) Lookup(cfg victim.Config) (*attack.Model, error) {
 		sh.seq++
 		e.lastUse = sh.seq
 		sh.mu.Unlock()
-		r.m.Add("registry.hits", 1)
+		r.m.Add(mRegistryHits, 1)
 		// A resident non-training entry is final: ready is already closed.
 		return e.m, e.err
 	}
 	sh.mu.Unlock()
-	r.m.Add("registry.misses", 1)
+	r.m.Add(mRegistryMisses, 1)
 	return nil, fmt.Errorf("serve: no model for %s: %w", key, attack.ErrModelNotTrained)
 }
 

@@ -63,8 +63,14 @@ type Options struct {
 	// shorten it (timeout_ms). Zero means no server-side cap.
 	RequestTimeout time.Duration
 	// Metrics receives serving counters and registry statistics; nil
-	// allocates a fresh registry (exposed at /metrics either way).
+	// inherits Obs's registry when a tracer is set, else allocates a
+	// fresh one (exposed at /metrics either way).
 	Metrics *obs.Metrics
+	// Obs, when non-nil, records per-request trace spans: every request
+	// gets a child tracer on its trace's track ("trace/<trace-id>"), so
+	// filtering an exported stream by track yields exactly one request's
+	// trace. Nil disables span recording; RED metrics still flow.
+	Obs *obs.Tracer
 	// MaxSessions caps resident streaming sessions (default 64). At the
 	// cap, creating a session evicts the oldest never-attached one; when
 	// every resident session is actively streaming, creation answers 429.
@@ -106,7 +112,11 @@ func (o Options) withDefaults() Options {
 		o.TrainRepeats = 2
 	}
 	if o.Metrics == nil {
-		o.Metrics = obs.NewMetrics()
+		if o.Obs != nil {
+			o.Metrics = o.Obs.Metrics()
+		} else {
+			o.Metrics = obs.NewMetrics()
+		}
 	}
 	if o.MaxSessions < 1 {
 		o.MaxSessions = 64
@@ -135,6 +145,9 @@ type Server struct {
 	m        *obs.Metrics
 	sessions *sessionTable
 	batcher  *Batcher // nil when Options.BatchMax == 0
+	// shardGauge holds the precomputed per-shard queue-depth gauge names
+	// ("serve.shard<i>.queued"), so /metrics scrapes never format strings.
+	shardGauge []string
 
 	mu       sync.Mutex
 	inflight int
@@ -166,6 +179,7 @@ func NewServer(opts Options) *Server {
 			admit: make(chan struct{}, opts.WorkersPerShard+opts.QueuePerShard),
 			run:   make(chan struct{}, opts.WorkersPerShard),
 		})
+		s.shardGauge = append(s.shardGauge, fmt.Sprintf("serve.shard%d.queued", i))
 	}
 	s.mux.HandleFunc("POST /v1/eavesdrop", s.handleEavesdrop)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
@@ -262,15 +276,15 @@ func (s *Server) do(ctx context.Context, shard int, fn func(context.Context) err
 	select {
 	case ws.admit <- struct{}{}:
 	default:
-		s.m.Add("serve.rejected", 1)
+		s.m.Add(mRejected, 1)
 		return fmt.Errorf("shard %d (%d in system): %w", shard, cap(ws.admit), ErrBusy)
 	}
 	defer func() { <-ws.admit }()
-	s.m.Add("serve.admitted", 1)
+	s.m.Add(mAdmitted, 1)
 	select {
 	case ws.run <- struct{}{}:
 	case <-ctx.Done():
-		s.m.Add("serve.queue_timeouts", 1)
+		s.m.Add(mQueueTimeouts, 1)
 		return fmt.Errorf("serve: queued on shard %d: %w", shard, ctx.Err())
 	}
 	defer func() { <-ws.run }()
@@ -342,7 +356,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
-	s.m.Add("serve.errors", 1)
+	s.m.Add(mErrors, 1)
 	writeJSON(w, status, ErrorResponse{Schema: Schema, Error: err.Error(), Status: status})
 }
 
@@ -360,33 +374,36 @@ func decode[T any](r *http.Request, into *T) error {
 func (s *Server) handleEavesdrop(w http.ResponseWriter, r *http.Request) {
 	var req EavesdropRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsEavesdrop, err)
 		return
 	}
 	scen, err := ResolveScenario(req)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsEavesdrop, err)
 		return
 	}
 	if err := s.begin(); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsEavesdrop, err)
 		return
 	}
 	defer s.end()
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	tc := traceFor(r, req.Seed)
+	ctx = obs.WithTraceContext(ctx, tc)
 
 	var resp EavesdropResponse
 	err = s.do(ctx, s.reg.ShardFor(Key(TrainConfig(scen.Cfg))), func(ctx context.Context) error {
 		var err error
-		resp, err = s.runEavesdrop(ctx, scen, req, nil)
+		resp, err = s.runEavesdrop(ctx, scen, req, nil, mLatencyEavesdrop)
 		return err
 	})
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsEavesdrop, err)
 		return
 	}
-	s.m.Add("serve.eavesdrops", 1)
+	s.m.Add(mEavesdrops, 1)
+	w.Header().Set(TraceparentHeader, tc.Local().Traceparent())
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -396,9 +413,38 @@ func (s *Server) handleEavesdrop(w http.ResponseWriter, r *http.Request) {
 // to emit when non-nil. Sharing the implementation is what makes a
 // session's closing "result" frame byte-identical (modulo JSON
 // indentation) to the /v1/eavesdrop body for the same request. Callers
-// hold a work-queue slot (s.do) for the model's shard.
-func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropRequest, emit func(attack.StreamEvent) error) (EavesdropResponse, error) {
+// hold a work-queue slot (s.do) for the model's shard and attach the
+// request's trace context to ctx; latMetric names the RED latency
+// histogram the run observes into on success ("" skips it).
+//
+// When Options.Obs is set, the run records onto the trace's own track:
+// a router-hop instant if the context arrived over the wire, the
+// request span (0 → session end), the queue-admit instant, one instant
+// per micro-batched classification, and — through the attack engine's
+// tracer — the sampler and verdict events. Every event is emitted from
+// this goroutine, so a trace's events are in creation order and the
+// exported stream, filtered to one track, is byte-identical at any
+// worker count.
+func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropRequest, emit func(attack.StreamEvent) error, latMetric string) (EavesdropResponse, error) {
 	trainCfg := TrainConfig(scen.Cfg)
+	shard := s.reg.ShardFor(Key(trainCfg))
+	tc, traced := obs.TraceContextFrom(ctx)
+	var tr *obs.Tracer
+	var span *obs.Span
+	var reqTC obs.TraceContext
+	if traced && s.opts.Obs.Enabled() {
+		tr = s.opts.Obs.Child(tc.Track())
+		if tc.Remote {
+			tr.Emit(0, evRouterHop, tc.Fields()...)
+			tc = tc.Local()
+		}
+		reqTC = tc.Child(evRequest, 0)
+		span = tr.Start(0, evRequest, reqTC.Fields()...)
+		admitTC := reqTC.Child(evQueueAdmit, 0)
+		tr.Emit(0, evQueueAdmit, append(admitTC.Fields(), obs.Int("shard", shard))...)
+	}
+	endAt := sim.Time(0)
+	defer func() { span.End(endAt) }()
 	var m *attack.Model
 	var err error
 	if req.PretrainedOnly {
@@ -411,18 +457,27 @@ func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropR
 	}
 	sess := victim.New(scen.Cfg)
 	sess.Run(scen.Script())
+	endAt = sess.End
 	f, err := sess.Open()
 	if err != nil {
 		return EavesdropResponse{}, fmt.Errorf("serve: opening device file: %w", err)
 	}
 	atk := attack.New(m)
+	atk.Obs = tr
 	if s.batcher != nil {
 		// Route per-delta classification through the model shard's
 		// micro-batch queue. Verdicts are unchanged (the batcher's identity
-		// contract); only the dispatch is shared.
-		shard := s.reg.ShardFor(Key(trainCfg))
+		// contract); only the dispatch is shared. The trace instant is
+		// emitted here — the request goroutine — never by the dispatcher,
+		// and carries no batch-composition fields, so traces stay
+		// byte-identical however requests happen to coalesce.
 		atk.Classify = func(m *attack.Model, at sim.Time, v trace.Vec) attack.Verdict {
-			return s.batcher.Classify(shard, m, at, v)
+			verdict := s.batcher.Classify(shard, m, at, v)
+			if tr.Enabled() {
+				btc := reqTC.Child(evBatchClassify, at)
+				tr.Emit(at, evBatchClassify, append(btc.Fields(), obs.Int("shard", shard))...)
+			}
+			return verdict
 		}
 	}
 	var df attack.DeviceFile = f
@@ -438,6 +493,13 @@ func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropR
 	res, err := atk.EavesdropStreamContext(ctx, df, 0, sess.End, emit)
 	if err != nil {
 		return EavesdropResponse{}, err
+	}
+	if latMetric != "" {
+		exemplarTrace := ""
+		if traced {
+			exemplarTrace = tc.TraceID
+		}
+		s.m.ObserveExemplar(latMetric, float64(sess.End)/float64(sim.Millisecond), exemplarTrace)
 	}
 	resp := EavesdropResponse{
 		Schema:          Schema,
@@ -461,7 +523,7 @@ func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropR
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	var req TrainRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsTrain, err)
 		return
 	}
 	scen, err := ResolveScenario(EavesdropRequest{
@@ -469,11 +531,11 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		Text: "warmup", // unused by training; satisfies scenario validation
 	})
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsTrain, err)
 		return
 	}
 	if err := s.begin(); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsTrain, err)
 		return
 	}
 	defer s.end()
@@ -498,10 +560,10 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsTrain, err)
 		return
 	}
-	s.m.Add("serve.trains", 1)
+	s.m.Add(mTrains, 1)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -510,15 +572,15 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	var req ExperimentRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsExperiment, err)
 		return
 	}
 	if req.ID == "" {
-		s.writeError(w, fmt.Errorf("%w: empty experiment id", ErrBadRequest))
+		s.failRequest(w, mErrorsExperiment, fmt.Errorf("%w: empty experiment id", ErrBadRequest))
 		return
 	}
 	if err := s.begin(); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsExperiment, err)
 		return
 	}
 	defer s.end()
@@ -541,10 +603,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsExperiment, err)
 		return
 	}
-	s.m.Add("serve.experiments", 1)
+	s.m.Add(mExperiments, 1)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -571,20 +633,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-// handleMetrics serves GET /metrics: the obs registry snapshot with the
-// serving gauges folded in, as one sorted-key JSON object (byte-stable
-// for identical states).
+// handleMetrics serves GET /metrics in two negotiated renderings of the
+// same state: the default (or ?format=json) sorted-key JSON snapshot
+// with the serving gauges folded in (byte-stable for identical states),
+// and ?format=prom, the Prometheus text exposition with trace-id
+// exemplars on histogram buckets. Both carry an explicit Content-Type;
+// any other format answers 400.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.m.Add("serve.metric_scrapes", 1)
+	s.m.Add(mMetricScrapes, 1)
+	gauges := s.gauges()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		snap := s.m.Snapshot()
+		for k, v := range gauges {
+			snap[k] = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteSnapshotJSON(w, snap) //nolint:errcheck // client gone mid-scrape
+	case "prom":
+		w.Header().Set("Content-Type", obs.PromContentType)
+		s.m.WriteProm(w, gauges) //nolint:errcheck // client gone mid-scrape
+	default:
+		s.writeError(w, fmt.Errorf("%w: unknown metrics format %q", ErrBadRequest, format))
+	}
+}
+
+// gauges reads the point-in-time serving state /metrics folds in next to
+// the monotonic registry: registry residency, in-flight and session
+// counts, and each shard's queued-request depth.
+func (s *Server) gauges() map[string]float64 {
 	models, training := s.reg.Stats()
-	snap := s.m.Snapshot()
-	snap["registry.models_resident"] = float64(models)
-	snap["registry.training"] = float64(training)
-	snap["registry.evictions"] = float64(Evictions())
-	snap["serve.inflight"] = float64(s.Inflight())
 	resident, streaming := s.sessions.stats()
-	snap["serve.sessions.resident"] = float64(resident)
-	snap["serve.sessions.streaming"] = float64(streaming)
-	w.Header().Set("Content-Type", "application/json")
-	obs.WriteSnapshotJSON(w, snap) //nolint:errcheck // client gone mid-scrape
+	g := map[string]float64{
+		"registry.models_resident": float64(models),
+		"registry.training":        float64(training),
+		"registry.evictions":       float64(Evictions()),
+		"serve.inflight":           float64(s.Inflight()),
+		"serve.sessions.resident":  float64(resident),
+		"serve.sessions.streaming": float64(streaming),
+	}
+	for i, ws := range s.work {
+		g[s.shardGauge[i]] = float64(len(ws.admit))
+	}
+	return g
 }

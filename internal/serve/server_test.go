@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"gpuleak/internal/attack"
+	"gpuleak/internal/obs"
 	"gpuleak/internal/victim"
 )
 
@@ -309,5 +311,75 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 	}
 	if snap["registry.models_resident"] != 1 {
 		t.Errorf("registry.models_resident = %v, want 1", snap["registry.models_resident"])
+	}
+}
+
+// TestMetricsContentNegotiation pins both renderings of /metrics over
+// one registry state: the default JSON snapshot (explicit Content-Type,
+// cumulative histogram bucket keys in the flat map) and the Prometheus
+// text exposition behind ?format=prom (counter/gauge/histogram families
+// with the trace-id exemplar on the bucket holding the observation).
+// Any other format is a 400.
+func TestMetricsContentNegotiation(t *testing.T) {
+	s, release := blockedServer(t, Options{Shards: 1})
+	close(release)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/train", `{}`)
+	decodeBody[TrainResponse](t, resp)
+	const trace = "0123456789abcdef0123456789abcdef"
+	s.m.ObserveExemplar(mLatencyEavesdrop, 12, trace) // lands in the le=25 bucket
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := mresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	snap := decodeBody[map[string]float64](t, mresp)
+	if snap["serve.trains"] != 1 {
+		t.Errorf("serve.trains = %v, want 1", snap["serve.trains"])
+	}
+	if snap["serve.latency_ms.eavesdrop_bucket_le_10"] != 0 ||
+		snap["serve.latency_ms.eavesdrop_bucket_le_25"] != 1 {
+		t.Errorf("bucket keys wrong: le_10=%v le_25=%v, want 0 and 1 (cumulative)",
+			snap["serve.latency_ms.eavesdrop_bucket_le_10"],
+			snap["serve.latency_ms.eavesdrop_bucket_le_25"])
+	}
+
+	presp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := presp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("prom Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	raw, err := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE gpuleak_serve_trains counter\ngpuleak_serve_trains 1\n",
+		"# TYPE gpuleak_serve_inflight gauge\n",
+		"# TYPE gpuleak_serve_latency_ms_eavesdrop histogram\n",
+		"gpuleak_serve_latency_ms_eavesdrop_bucket{le=\"25\"} 1 # {trace_id=\"" + trace + "\"} 12\n",
+		"gpuleak_serve_latency_ms_eavesdrop_bucket{le=\"+Inf\"} 1\n",
+		"gpuleak_serve_latency_ms_eavesdrop_count 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prom rendering missing %q", want)
+		}
+	}
+
+	bresp, err := http.Get(ts.URL + "/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er := decodeBody[ErrorResponse](t, bresp); bresp.StatusCode != http.StatusBadRequest || er.Status != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d body %+v, want 400", bresp.StatusCode, er)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gpuleak/internal/attack"
+	"gpuleak/internal/obs"
 )
 
 // Sentinels of the streaming-session lifecycle; the facade re-exports
@@ -46,6 +47,11 @@ type session struct {
 	seq      uint64
 	state    sessionState
 	stopIdle func()
+	// trace is the session's trace context, captured at create time: the
+	// router forwards the traceparent on the create POST (and on every
+	// failover replay), while the stream attach carries no header — so a
+	// replayed session keeps recording under its original trace id.
+	trace obs.TraceContext
 }
 
 // sessionTable is the bounded registry of live sessions. Boundedness has
@@ -67,7 +73,7 @@ func newSessionTable(cap int) *sessionTable {
 // create registers a session, evicting the oldest never-attached one if
 // the table is full. It fails with ErrBusy when every resident session is
 // already streaming.
-func (t *sessionTable) create(req EavesdropRequest, scen Scenario) (*session, bool, error) {
+func (t *sessionTable) create(req EavesdropRequest, scen Scenario, trace obs.TraceContext) (*session, bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	evicted := false
@@ -93,10 +99,11 @@ func (t *sessionTable) create(req EavesdropRequest, scen Scenario) (*session, bo
 	t.nextID++
 	t.seq++
 	s := &session{
-		id:   fmt.Sprintf("s-%08d", t.nextID),
-		req:  req,
-		scen: scen,
-		seq:  t.seq,
+		id:    fmt.Sprintf("s-%08d", t.nextID),
+		req:   req,
+		scen:  scen,
+		seq:   t.seq,
+		trace: trace,
 	}
 	t.byID[s.id] = s
 	return s, evicted, nil
@@ -190,31 +197,31 @@ func (t *sessionTable) clear() {
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req EavesdropRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsSession, err)
 		return
 	}
 	scen, err := ResolveScenario(req)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsSession, err)
 		return
 	}
 	if s.Draining() {
-		s.writeError(w, ErrDraining)
+		s.failRequest(w, mErrorsSession, ErrDraining)
 		return
 	}
-	sess, evicted, err := s.sessions.create(req, scen)
+	sess, evicted, err := s.sessions.create(req, scen, traceFor(r, req.Seed))
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsSession, err)
 		return
 	}
 	if evicted {
-		s.m.Add("serve.sessions.evicted", 1)
+		s.m.Add(mSessionsEvicted, 1)
 	}
 	if s.opts.SessionTimer != nil {
 		id := sess.id
 		stop := s.opts.SessionTimer(func() {
 			if s.sessions.drop(id) {
-				s.m.Add("serve.sessions.idle_reaped", 1)
+				s.m.Add(mSessionsIdleReaped, 1)
 			}
 		})
 		s.sessions.mu.Lock()
@@ -227,7 +234,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		s.sessions.mu.Unlock()
 	}
-	s.m.Add("serve.sessions.created", 1)
+	s.m.Add(mSessionsCreated, 1)
 	writeJSON(w, http.StatusCreated, SessionResponse{
 		Schema: Schema,
 		ID:     sess.id,
@@ -240,10 +247,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.sessions.drop(id) {
-		s.writeError(w, fmt.Errorf("session %q: %w", id, ErrSessionNotFound))
+		s.failRequest(w, mErrorsSession, fmt.Errorf("session %q: %w", id, ErrSessionNotFound))
 		return
 	}
-	s.m.Add("serve.sessions.canceled", 1)
+	s.m.Add(mSessionsCanceled, 1)
 	writeJSON(w, http.StatusOK, SessionResponse{Schema: Schema, ID: id})
 }
 
@@ -258,20 +265,22 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.sessions.claim(r.PathValue("id"))
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsStream, err)
 		return
 	}
 	if err := s.begin(); err != nil {
 		s.sessions.unclaim(sess.id)
-		s.writeError(w, err)
+		s.failRequest(w, mErrorsStream, err)
 		return
 	}
 	defer s.end()
 	defer s.sessions.finish(sess.id)
 	ctx, cancel := s.requestContext(r, sess.req.TimeoutMS)
 	defer cancel()
+	tc := sess.trace
+	ctx = obs.WithTraceContext(ctx, tc)
 
-	st := &sseStream{w: w, sessionID: sess.id}
+	st := &sseStream{w: w, sessionID: sess.id, trace: tc.Local()}
 	if f, ok := w.(http.Flusher); ok {
 		st.flush = f
 	}
@@ -288,7 +297,7 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			return nil
-		})
+		}, mLatencyStream)
 		if err != nil {
 			return err
 		}
@@ -296,13 +305,14 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		if !st.started {
-			s.writeError(w, err)
+			s.failRequest(w, mErrorsStream, err)
 			return
 		}
 		// The stream is already flowing: the failure travels in-band.
 		st.fail(err, statusFor(err))
-		s.m.Add("serve.errors", 1)
+		s.m.Add(mErrors, 1)
+		s.m.Add(mErrorsStream, 1)
 		return
 	}
-	s.m.Add("serve.sessions.streamed", 1)
+	s.m.Add(mSessionsStreamed, 1)
 }

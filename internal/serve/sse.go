@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"gpuleak/internal/attack"
+	"gpuleak/internal/obs"
 )
 
 // sseStream writes one session's Server-Sent-Events response. Frames are
@@ -17,6 +18,7 @@ type sseStream struct {
 	w         http.ResponseWriter
 	flush     http.Flusher
 	sessionID string
+	trace     obs.TraceContext
 	started   bool
 	seq       uint64
 }
@@ -34,6 +36,17 @@ func (st *sseStream) start() error {
 	h.Set("Cache-Control", "no-store")
 	h.Set("X-Accel-Buffering", "no")
 	st.w.WriteHeader(http.StatusOK)
+	if st.trace.Valid() {
+		// The trace id also travels in-band: comment frames carry no id,
+		// so a router splicing replicas never replays them — every hop
+		// (router, then each replica it attaches) speaks its own
+		// traceparent line ahead of the first real frame, and a client
+		// can correlate the stream with exported spans even across a
+		// failover.
+		if _, err := fmt.Fprintf(st.w, ": traceparent %s\n\n", st.trace.Traceparent()); err != nil {
+			return fmt.Errorf("serve: writing traceparent comment: %w", err)
+		}
+	}
 	return st.frame("open", SessionResponse{Schema: Schema, ID: st.sessionID})
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"gpuleak/internal/obs"
 	"gpuleak/internal/serve"
 	"gpuleak/internal/sim"
 )
@@ -236,5 +237,145 @@ func TestBatchedServingMatchesUnbatched(t *testing.T) {
 					i, j, streams[i][j].Data, wantFrames[j].Data)
 			}
 		}
+	}
+}
+
+// streamSessionTraced is streamSession with the trace plumbing exposed:
+// the session is created with an explicit traceparent header (the same
+// forwarding the router performs on every create and failover replay),
+// and SSE comment lines — which carry the in-band trace announcement —
+// are captured instead of dropped.
+func streamSessionTraced(t *testing.T, url, body, traceparent string) ([]sseFrame, []string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/sessions", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.TraceparentHeader, traceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/sessions: %v", err)
+	}
+	var sr serve.SessionResponse
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decoding session response: %v", err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/sessions: status %d", resp.StatusCode)
+	}
+
+	stream, err := http.Get(url + "/v1/sessions/" + sr.ID + "/stream")
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("GET stream: status %d", stream.StatusCode)
+	}
+
+	var frames []sseFrame
+	var comments []string
+	var cur sseFrame
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.Event != "" {
+				frames = append(frames, cur)
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, ": "):
+			comments = append(comments, line)
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &cur.ID) //nolint:errcheck // malformed ids fail frame checks in callers
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = []byte(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return frames, comments
+}
+
+// TestStreamTraceContinuity pins the cross-process trace contract on the
+// streaming path: a session created with a forwarded traceparent (what
+// the router sends on create AND on every failover replay) records its
+// router hop, request span, queue admission, and the engine's verdict
+// events all on the one trace's track; the stream announces that trace
+// in-band before the open frame; and the per-trace JSONL export is
+// byte-identical at TrainWorkers 1 and 8 and across a replay on a fresh
+// replica — which is exactly why a failover splice keeps one trace id.
+func TestStreamTraceContinuity(t *testing.T) {
+	const seed = 7
+	body := `{"text":"hunter2","seed":7}`
+	tc := obs.NewTrace(seed)
+	tp := tc.Traceparent()
+
+	run := func(workers int) ([]byte, []string) {
+		tr := obs.New()
+		srv := serve.NewServer(serve.Options{Shards: 2, TrainRepeats: 2, TrainWorkers: workers, Obs: tr})
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		frames, comments := streamSessionTraced(t, ts.URL, body, tp)
+		if len(frames) < 2 || frames[len(frames)-1].Event != "result" {
+			t.Fatalf("stream did not finish with a result frame (%d frames)", len(frames))
+		}
+		var evs []obs.Event
+		for _, e := range tr.Events() {
+			if e.Track == tc.Track() {
+				evs = append(evs, e)
+			}
+		}
+		if len(evs) == 0 {
+			t.Fatalf("no events recorded on trace track %q", tc.Track())
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, evs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), comments
+	}
+
+	serial, comments := run(1)
+	if len(comments) == 0 || comments[0] != ": traceparent "+tp {
+		t.Fatalf("stream comments %q do not announce the forwarded trace %q", comments, tp)
+	}
+	// Every layer of the span hierarchy lands on the same trace track:
+	// the remote hop, the request span, queue admission, and the attack
+	// engine's per-key verdicts.
+	for _, name := range []string{"serve.router_hop", "serve.request", "serve.queue_admit", "engine.verdict"} {
+		if !bytes.Contains(serial, []byte(`"name":"`+name+`"`)) {
+			t.Errorf("trace export missing %s event", name)
+		}
+	}
+	if bytes.Contains(serial, []byte(`"track":"trace/`)) &&
+		!bytes.Contains(serial, []byte(`"track":"trace/`+tc.TraceID+`"`)) {
+		t.Errorf("trace export carries a foreign trace id")
+	}
+
+	// Byte identity across worker counts: the span/event stream of one
+	// trace is a function of the request seed, not of scheduling.
+	parallel, _ := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("trace export differs between TrainWorkers=1 and TrainWorkers=8:\n%s\nvs\n%s", serial, parallel)
+	}
+
+	// Failover replay: the router re-creates the session on a fresh
+	// replica with the original traceparent. The replay's trace must be
+	// the same trace, byte for byte, and be re-announced in-band.
+	replay, replayComments := run(1)
+	if len(replayComments) == 0 || replayComments[0] != ": traceparent "+tp {
+		t.Fatalf("failover replay announced %q, want the original trace %q", replayComments, tp)
+	}
+	if !bytes.Equal(serial, replay) {
+		t.Fatalf("failover replay produced a different trace:\n%s\nvs\n%s", serial, replay)
 	}
 }

@@ -35,7 +35,11 @@
 #   9. chaos      — fault-injection smoke: cmd/chaos -check asserts the
 #                   none profile is a byte-identical passthrough and that
 #                   injected faults are recovered, never fatal
-#  10. bench      — two-part: a BLOCKING `benchcmp -metrics-only` gate
+#  10. fusion     — channel-plane smoke: the seeded fusion experiment
+#                   must show multi-channel fusion beating the best
+#                   single channel on the starve profile
+#                   (fusion.win > 0.01)
+#  11. bench      — two-part: a BLOCKING `benchcmp -metrics-only` gate
 #                   (fixed seed+quick metrics are deterministic, so any
 #                   drift vs BENCH_baseline.json is a behavior change;
 #                   fig25's wall-time metrics are skipped by design) plus
@@ -271,6 +275,26 @@ go run ./cmd/chaos -profiles none,moderate -trials 3 -seed 7 \
 if [ -n "${CI_ARTIFACTS:-}" ]; then
     mkdir -p "$CI_ARTIFACTS"
     cp "$smoke_dir/chaos.json" "$CI_ARTIFACTS/chaos.json"
+fi
+
+echo "==> fusion smoke"
+# The channel plane's headline claim, gated: decision-level fusion of
+# the kgsl and proccount channels must beat the best single channel on
+# the starve profile (fusion.win is the char-accuracy margin; the
+# experiment is seeded and quick-scale, so the value is deterministic —
+# it is also pinned exactly by the bench metrics gate below, this gate
+# states the directional claim on its own).
+go run ./cmd/benchpaper -json -run fusion > "$smoke_dir/fusion.json"
+fusion_win=$(sed -n 's/.*"fusion\.win": *\(-\{0,1\}[0-9.eE+-]*\).*/\1/p' \
+    "$smoke_dir/fusion.json" | head -n 1)
+if [ -z "$fusion_win" ] || ! awk "BEGIN{exit !($fusion_win > 0.01)}"; then
+    echo "fusion smoke failed: fusion.win='$fusion_win' (must exceed 0.01)" >&2
+    exit 1
+fi
+echo "    fusion.win=$fusion_win"
+if [ -n "${CI_ARTIFACTS:-}" ]; then
+    mkdir -p "$CI_ARTIFACTS"
+    cp "$smoke_dir/fusion.json" "$CI_ARTIFACTS/fusion.json"
 fi
 
 echo "==> bench metrics gate (blocking)"

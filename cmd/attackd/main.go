@@ -37,7 +37,7 @@ func main() {
 	practical := flag.Bool("practical", false, "inject corrections/app switches (§8 behavior)")
 	traceOut := flag.String("trace", "", "write the raw counter trace as CSV")
 	monitor := flag.Bool("monitor", false, "start with the Figure-4 monitoring service: the victim uses another app first, the attack waits for the target launch")
-	faults := flag.String("faults", "", "inject device faults from this profile (none,mild,moderate,severe) and arm the retry policy")
+	faults := flag.String("faults", "", "inject device faults from this profile (none,mild,moderate,severe,starve) and arm the retry policy")
 	faultSeed := flag.Int64("fault-seed", 0, "fault schedule seed (default: derived from -seed)")
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)

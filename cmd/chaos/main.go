@@ -3,7 +3,7 @@
 // for each profile, the attack's accuracy under that fault schedule plus
 // the injection and recovery accounting that explains it.
 //
-//	chaos -profiles none,mild,moderate,severe -trials 10 -seed 1 > chaos.json
+//	chaos -profiles none,mild,moderate,severe,starve -trials 10 -seed 1 > chaos.json
 //
 // Reports are bit-identical for a fixed seed at any -workers value —
 // every trial's victim seed, credential and fault schedule derive from

@@ -14,10 +14,15 @@ import (
 
 	"gpuleak/internal/android"
 	"gpuleak/internal/attack"
+	"gpuleak/internal/channel"
 	"gpuleak/internal/keyboard"
 	"gpuleak/internal/obs"
 	"gpuleak/internal/parallel"
 	"gpuleak/internal/victim"
+
+	// Channel implementations self-register from init.
+	_ "gpuleak/internal/kgslchan"
+	_ "gpuleak/internal/proccount"
 )
 
 // trainReport is the -json output: one machine-readable line of training
@@ -49,6 +54,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable training report on stdout")
 	out := flag.String("o", "", "output file (default: model-<device>-<keyboard>.json)")
 	bundleAll := flag.Bool("bundle", false, "train every known device at this keyboard/app and write one bundle")
+	chName := flag.String("channel", "", "side channel to collect through (default kgsl; see gpuleak.Channels)")
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -70,7 +76,17 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown app %q", *app)
 	}
-	copts := attack.CollectOptions{Repeats: *repeats, Workers: *workers}
+	ch, err := channel.Get(*chName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Non-default channels tag the default output filename so models for
+	// different channels never clobber each other.
+	chTag := ""
+	if t := channel.Canonical(ch.Name()); t != "" {
+		chTag = "-" + t
+	}
+	copts := attack.CollectOptions{Repeats: *repeats, Workers: *workers, Channel: *chName}
 
 	// finish writes the telemetry stream and profile dumps; both exit
 	// paths call it after their model files are safely on disk.
@@ -122,7 +138,7 @@ func main() {
 		}
 		path := *out
 		if path == "" {
-			path = fmt.Sprintf("bundle-%s.json", layout.Name)
+			path = fmt.Sprintf("bundle-%s%s.json", layout.Name, chTag)
 		}
 		f, err := os.Create(path)
 		if err != nil {
@@ -177,7 +193,7 @@ func main() {
 
 	path := *out
 	if path == "" {
-		path = fmt.Sprintf("model-%s-%s.json", sanitize(dev.Name), layout.Name)
+		path = fmt.Sprintf("model-%s-%s%s.json", sanitize(dev.Name), layout.Name, chTag)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -123,7 +123,7 @@ func main() {
 	device := flag.String("device", "", "victim device (server default when empty)")
 	app := flag.String("app", "", "target app (server default when empty)")
 	kb := flag.String("keyboard", "", "keyboard (server default when empty)")
-	faults := flag.String("faults", "", "ask the server to inject device faults from this profile (none,mild,moderate,severe)")
+	faults := flag.String("faults", "", "ask the server to inject device faults from this profile (none,mild,moderate,severe,starve)")
 	reqTimeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	smoke := flag.Bool("smoke", false, "liveness check: wait for /healthz, one eavesdrop, exit")

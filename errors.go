@@ -2,6 +2,7 @@ package gpuleak
 
 import (
 	"gpuleak/internal/attack"
+	"gpuleak/internal/channel"
 	"gpuleak/internal/exp"
 	"gpuleak/internal/serve"
 )
@@ -37,6 +38,10 @@ var (
 	// each session is single-use and its verdict stream belongs to the
 	// first GET that claims it (HTTP 409).
 	ErrSessionConsumed error = serve.ErrSessionConsumed
+	// ErrUnknownChannel reports a side-channel name absent from the
+	// registry (WithChannel/WithChannels, the "channel"/"channels" request
+	// fields). See Channels for the registered names (HTTP 400).
+	ErrUnknownChannel error = channel.ErrUnknownChannel
 )
 
 // Is makes *UnknownExperimentError match ErrUnknownExperiment under

@@ -44,7 +44,7 @@ type (
 )
 
 // FaultProfiles returns the predefined fault profiles in severity order:
-// none (a pure passthrough), mild, moderate, severe. The default
+// none (a pure passthrough), mild, moderate, severe, starve. The default
 // RetryPolicy absorbs all of them — accuracy may degrade, availability
 // never does.
 func FaultProfiles() []FaultProfile { return fault.Profiles() }

@@ -73,11 +73,13 @@ package gpuleak
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"strings"
 
 	"gpuleak/internal/android"
 	"gpuleak/internal/attack"
+	"gpuleak/internal/channel"
 	"gpuleak/internal/exp"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
@@ -85,7 +87,13 @@ import (
 	"gpuleak/internal/mitigate"
 	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
 	"gpuleak/internal/victim"
+
+	// Register the built-in side channels so Channels, WithChannel and the
+	// serving layer see both without any caller-side imports.
+	_ "gpuleak/internal/kgslchan"
+	_ "gpuleak/internal/proccount"
 )
 
 // Core types of the attack pipeline.
@@ -280,4 +288,90 @@ func PracticalSessionAt(text string, v Volunteer, seed int64, start Time) Script
 // (WithInterval, WithObs).
 func NewSamplerOn(f *KGSLFile) (*attack.Sampler, error) {
 	return attack.NewSampler(f, attack.DefaultInterval)
+}
+
+// The channel plane. The attack pipeline is generic over the side
+// channel it samples: "kgsl" (the paper's GPU perf counters, the
+// default everywhere a channel is not named) and "proccount" (an
+// EavesDroid-style OS-counter channel) ship registered. Select one with
+// WithChannel on TrainContext, or several with WithChannels on
+// EavesdropSession to fuse their detections.
+
+// FusionResult is the outcome of a multi-channel eavesdropping run: the
+// per-channel results plus the fused one, with recovery/flip counts.
+type FusionResult = attack.FusionResult
+
+// Channels lists the registered side-channel names, sorted. Unknown
+// names passed to WithChannel/WithChannels surface as ErrUnknownChannel.
+func Channels() []string { return channel.Names() }
+
+// EavesdropSession runs the online phase on a completed victim session
+// over the configured side channels. With no channel options (or
+// WithChannel) it samples one channel and Fused aliases Primary; with
+// WithChannels(primary, secondary) it runs both and fuses the
+// secondary's detections into the primary's result — see
+// attack.Fuse for the flip/recover rules. models must hold one
+// classifier per requested channel (trained via TrainContext with the
+// matching WithChannel); a missing one fails with ErrModelNotTrained.
+func EavesdropSession(ctx context.Context, sess *Session, models []*Model, start, end Time, opts ...Option) (*FusionResult, error) {
+	o := buildOptions(opts)
+	names := o.channels
+	if len(names) == 0 {
+		names = []string{""}
+	}
+	if len(names) > 2 {
+		return nil, fmt.Errorf("gpuleak: EavesdropSession fuses at most two channels, got %d", len(names))
+	}
+	type run struct {
+		ch     channel.Channel
+		m      *Model
+		deltas []trace.Delta
+		res    *Result
+	}
+	runs := make([]run, len(names))
+	for i, name := range names {
+		ch, err := channel.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		var m *Model
+		for _, cand := range models {
+			if cand != nil && cand.Key.Channel == channel.Canonical(ch.Name()) {
+				m = cand
+				break
+			}
+		}
+		if m == nil {
+			return nil, fmt.Errorf("gpuleak: no model for channel %q: %w", ch.Name(), attack.ErrModelNotTrained)
+		}
+		f, err := ch.Open(sess)
+		if err != nil {
+			return nil, fmt.Errorf("gpuleak: opening channel %q: %w", ch.Name(), err)
+		}
+		smp, err := attack.NewSamplerTaxonomy(f, ch.Interval(), attack.RetryPolicy{}, ch.Taxonomy())
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			smp.Obs = o.obs
+		}
+		tr, err := smp.CollectContext(ctx, start, end)
+		if err != nil {
+			return nil, err
+		}
+		a := &Attack{Models: []*Model{m}, Interval: ch.Interval(), Errors: ch.Taxonomy()}
+		if i == 0 {
+			a.Obs = o.obs
+		}
+		res, err := a.EavesdropTrace(tr)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = run{ch: ch, m: m, deltas: tr.Deltas(), res: res}
+	}
+	if len(runs) == 1 {
+		return &FusionResult{Primary: runs[0].res, Fused: runs[0].res}, nil
+	}
+	return attack.Fuse(runs[0].m, runs[0].deltas, runs[0].res,
+		runs[1].m, runs[1].res, runs[0].ch.Interval(), attack.FusionOptions{}), nil
 }

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ChannelReg enforces the side-channel plane's registration discipline.
+// The channel registry is only trustworthy if it is the one source of
+// Channel values: every implementation registers itself from its
+// package's init function, and every consumer resolves channels at run
+// time through channel.Get. Two shapes break that:
+//
+//  1. channel.Register calls inside ordinary functions register lazily,
+//     so the advertised channel set (and the duplicate-name panic)
+//     depends on execution path instead of the import graph;
+//  2. constructing a Channel implementation outside an init function
+//     bypasses the registry entirely — callers would hold channels the
+//     facade, the HTTP layer and Channels() cannot see.
+//
+// The channel package itself is exempt (its tests exercise the registry
+// with throwaway implementations).
+var ChannelReg = &Analyzer{
+	Name:     "channelreg",
+	Category: "hygiene",
+	Doc:      "side channels must be registered via channel.Register from init and constructed only there; consumers resolve them through channel.Get",
+	Applies: func(pkgPath string) bool {
+		return !strings.HasSuffix(pkgPath, "internal/channel")
+	},
+	Run: runChannelReg,
+}
+
+const channelPkgSuffix = "internal/channel"
+
+func isChannelPkg(pkg *types.Package) bool {
+	return pkg != nil && strings.HasSuffix(pkg.Path(), channelPkgSuffix)
+}
+
+// channelIface resolves the channel.Channel interface type through the
+// package's imports; nil when the package never imports the channel
+// plane (nothing to check then — implementing the interface without
+// importing it is impossible, its methods mention channel.Probe).
+func channelIface(p *Pass) *types.Interface {
+	for _, imp := range p.Pkg.Types.Imports() {
+		if !strings.HasSuffix(imp.Path(), channelPkgSuffix) {
+			continue
+		}
+		obj := imp.Scope().Lookup("Channel")
+		if obj == nil {
+			continue
+		}
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			return iface
+		}
+	}
+	return nil
+}
+
+func runChannelReg(p *Pass) {
+	iface := channelIface(p)
+	for _, file := range p.Pkg.Files {
+		// Package initialization is the only place registration (and hence
+		// construction) of a channel is legitimate: init function bodies
+		// and package-level var initializers, which run at the same time.
+		var initRanges []ast.Node
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.Name == "init" && d.Recv == nil && d.Body != nil {
+					initRanges = append(initRanges, d.Body)
+				}
+			case *ast.GenDecl:
+				if d.Tok == token.VAR {
+					initRanges = append(initRanges, d)
+				}
+			}
+		}
+		// Function literals defer execution past initialization even when
+		// declared inside an init range, so their bodies don't count.
+		var litBodies []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+				litBodies = append(litBodies, fl.Body)
+			}
+			return true
+		})
+		inInit := func(n ast.Node) bool {
+			for _, b := range litBodies {
+				if b.Pos() <= n.Pos() && n.End() <= b.End() {
+					return false
+				}
+			}
+			for _, b := range initRanges {
+				if b.Pos() <= n.Pos() && n.End() <= b.End() {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if fn := calledFunc(p, e); fn != nil &&
+					fn.Name() == "Register" && isChannelPkg(fn.Pkg()) && !inInit(e) {
+					p.Reportf(e.Pos(), "channel.Register outside an init function registers channels lazily: register from the implementing package's init")
+				}
+			case *ast.CompositeLit:
+				if iface == nil || inInit(e) {
+					return true
+				}
+				t := p.TypeOf(e)
+				if t == nil {
+					return true
+				}
+				if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+					p.Reportf(e.Pos(), "constructing a channel.Channel implementation outside init bypasses the registry: resolve channels with channel.Get")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func init() { Register(ChannelReg) }

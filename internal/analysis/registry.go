@@ -19,6 +19,7 @@ var canonicalOrder = []string{
 	"ioctlsize",
 	"obsevent",
 	"errtaxonomy",
+	"channelreg",
 	"hotalloc",
 	"doccheck",
 }

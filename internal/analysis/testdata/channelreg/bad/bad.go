@@ -1,0 +1,68 @@
+// Package crbad seeds channelreg violations: lazy registration from
+// ordinary functions, direct construction of channel implementations
+// outside package initialization, and registration deferred into a
+// function literal. Lines marked WANT must be reported.
+package crbad
+
+import (
+	"gpuleak/internal/channel"
+	"gpuleak/internal/fault"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
+	"gpuleak/internal/victim"
+)
+
+// vchan implements channel.Channel with value receivers.
+type vchan struct{ name string }
+
+func (c vchan) Name() string { return c.name }
+func (c vchan) Dims() int    { return 2 }
+func (c vchan) Open(sess *victim.Session) (channel.Probe, error) {
+	return probe{}, nil
+}
+func (c vchan) Taxonomy() fault.Taxonomy { return fault.Taxonomy{} }
+func (c vchan) Interval() sim.Time       { return sim.Millisecond }
+
+// pchan implements channel.Channel with pointer receivers.
+type pchan struct{ n int }
+
+func (c *pchan) Name() string { return "crbad.p" }
+func (c *pchan) Dims() int    { return 1 }
+func (c *pchan) Open(sess *victim.Session) (channel.Probe, error) {
+	return probe{}, nil
+}
+func (c *pchan) Taxonomy() fault.Taxonomy { return fault.Taxonomy{} }
+func (c *pchan) Interval() sim.Time       { return sim.Millisecond }
+
+type probe struct{}
+
+func (probe) ReserveSelected(t sim.Time) error { return nil }
+func (probe) ReadSelected(t sim.Time) (trace.Raw, error) {
+	return trace.Raw{}, nil
+}
+
+// Package-level construction is initialization-time: allowed.
+var defd = vchan{name: "crbad.def"}
+
+func init() {
+	channel.Register(defd)
+}
+
+// Lazy registers on first call, so the advertised channel set depends on
+// the execution path instead of the import graph.
+func Lazy(name string) channel.Channel {
+	c := vchan{name: name} // WANT
+	channel.Register(c)    // WANT
+	return c
+}
+
+// Direct hands out a channel the registry has never seen.
+func Direct() channel.Channel {
+	return &pchan{n: 1} // WANT
+}
+
+// lazyhook defers registration into a function literal: the var runs at
+// initialization, the body does not.
+var lazyhook = func() {
+	channel.Register(defd) // WANT
+}

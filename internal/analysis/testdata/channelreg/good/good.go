@@ -1,0 +1,46 @@
+// Package crgood follows the channel-plane registration discipline: the
+// implementation is constructed at package initialization (package-level
+// var and init body), registered from init, and consumers resolve
+// channels through the registry.
+package crgood
+
+import (
+	"gpuleak/internal/channel"
+	"gpuleak/internal/fault"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
+	"gpuleak/internal/victim"
+)
+
+// vchan is a minimal channel implementation.
+type vchan struct{ name string }
+
+func (c vchan) Name() string { return c.name }
+func (c vchan) Dims() int    { return 2 }
+func (c vchan) Open(sess *victim.Session) (channel.Probe, error) {
+	return probe{}, nil
+}
+func (c vchan) Taxonomy() fault.Taxonomy { return fault.Taxonomy{} }
+func (c vchan) Interval() sim.Time       { return sim.Millisecond }
+
+// probe fills nothing; it exists to satisfy channel.Probe.
+type probe struct{}
+
+func (probe) ReserveSelected(t sim.Time) error { return nil }
+func (probe) ReadSelected(t sim.Time) (trace.Raw, error) {
+	return trace.Raw{}, nil
+}
+
+// Package-level construction runs at initialization: allowed.
+var def = vchan{name: "crgood.def"}
+
+func init() {
+	channel.Register(def)
+	// Constructing inline at the registration site is the canonical shape.
+	channel.Register(vchan{name: "crgood.alt"})
+}
+
+// Resolve goes through the registry, never constructing directly.
+func Resolve(name string) (channel.Channel, error) {
+	return channel.Get(name)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"gpuleak/internal/fault"
 	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
@@ -53,6 +54,11 @@ type Attack struct {
 	// The zero value disables retrying — any device error aborts the run,
 	// the behavior every fault-free experiment relies on.
 	Retry RetryPolicy
+	// Errors is the transient-error taxonomy of the side channel the probe
+	// was opened on, governing retry classification and re-reservation.
+	// The zero value means the KGSL taxonomy — every legacy call site
+	// behaves identically.
+	Errors fault.Taxonomy
 	// Classify, when non-nil, overrides per-delta classification for every
 	// engine this attack builds (Eavesdrop, EavesdropTrace and the
 	// streaming variants). It must agree with m.ClassifyDenoised(v) for
@@ -69,6 +75,17 @@ type Attack struct {
 func New(models ...*Model) *Attack {
 	return &Attack{Models: models, Interval: DefaultInterval}
 }
+
+// taxonomy resolves the attack's channel error taxonomy (default KGSL).
+func (a *Attack) taxonomy() fault.Taxonomy {
+	if a.Errors.Valid() {
+		return a.Errors
+	}
+	return fault.KGSL()
+}
+
+// retryable classifies a device error under the attack's taxonomy.
+func (a *Attack) retryable(err error) bool { return RetryableIn(err, a.Errors) }
 
 // Recognize picks the classification model whose launch-frame fingerprint
 // best matches the first burst of activity in the delta stream (§3.2:
@@ -158,7 +175,8 @@ func (a *Attack) EavesdropTrace(tr *trace.Trace) (*Result, error) {
 // [start, end] and infers the typed credential. This is the full online
 // phase: poll counters, recognize the device, classify deltas. f is any
 // DeviceFile — a raw *kgsl.File, or a *fault.File when the run should
-// face an injected fault schedule.
+// face an injected fault schedule. Probes from other channels go through
+// EavesdropProbe.
 func (a *Attack) Eavesdrop(f DeviceFile, start, end sim.Time) (*Result, error) {
 	return a.EavesdropContext(context.Background(), f, start, end)
 }
@@ -169,6 +187,14 @@ func (a *Attack) Eavesdrop(f DeviceFile, start, end sim.Time) (*Result, error) {
 // completed run is byte-identical to Eavesdrop — the context is a control
 // channel, never an input to the inference.
 func (a *Attack) EavesdropContext(ctx context.Context, f DeviceFile, start, end sim.Time) (*Result, error) {
+	return a.EavesdropStreamContext(ctx, f, start, end, nil)
+}
+
+// EavesdropProbe is Eavesdrop over any channel probe — the generic entry
+// point of the channel plane. For a KGSL DeviceFile it is exactly
+// Eavesdrop; for narrower channels set a.Errors to the channel's
+// taxonomy so retries classify correctly.
+func (a *Attack) EavesdropProbe(ctx context.Context, f Probe, start, end sim.Time) (*Result, error) {
 	return a.EavesdropStreamContext(ctx, f, start, end, nil)
 }
 
@@ -197,8 +223,8 @@ type StreamEvent struct {
 // from emit aborts the run (a streaming client went away). The returned
 // Result is byte-identical to EavesdropContext over the same inputs: the
 // emission is a tap on Algorithm 1, never a fork of it.
-func (a *Attack) EavesdropStreamContext(ctx context.Context, f DeviceFile, start, end sim.Time, emit func(StreamEvent) error) (*Result, error) {
-	s, err := NewSamplerRetry(f, a.Interval, a.Retry)
+func (a *Attack) EavesdropStreamContext(ctx context.Context, f Probe, start, end sim.Time, emit func(StreamEvent) error) (*Result, error) {
+	s, err := NewSamplerTaxonomy(f, a.Interval, a.Retry, a.Errors)
 	if err != nil {
 		return nil, err
 	}

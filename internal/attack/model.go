@@ -25,10 +25,19 @@ type ModelKey struct {
 	Resolution string `json:"resolution"`
 	Keyboard   string `json:"keyboard"`
 	RefreshHz  int    `json:"refresh_hz"`
+	// Channel tags the side channel the model was trained on. The default
+	// (KGSL) channel is canonically the empty string, so models — and
+	// their serialized JSON — from before the channel plane existed are
+	// identical to KGSL models trained today.
+	Channel string `json:"channel,omitempty"`
 }
 
 func (k ModelKey) String() string {
-	return fmt.Sprintf("%s/%s/%s@%d", k.Device, k.Resolution, k.Keyboard, k.RefreshHz)
+	s := fmt.Sprintf("%s/%s/%s@%d", k.Device, k.Resolution, k.Keyboard, k.RefreshHz)
+	if k.Channel != "" {
+		s += ":" + k.Channel
+	}
+	return s
 }
 
 // NoiseClass labels the non-keypress delta families the offline phase
@@ -116,15 +125,19 @@ type Verdict struct {
 func (m *Model) Classify(v trace.Vec) Verdict {
 	bestKey, altKey, d1, d2 := rune(0), rune(0), math.Inf(1), math.Inf(1)
 	for s, c := range m.Keys {
+		r := firstRune(s)
 		d := v.Dist(c, m.Weights)
-		if d < d1 {
+		// Exact distance ties break toward the smaller rune: on narrow
+		// channels whole key families share a centroid, and Go's random
+		// map order must never decide the verdict.
+		if d < d1 || (d <= d1 && r < bestKey) {
 			d2 = d1
 			altKey = bestKey
 			d1 = d
-			bestKey = firstRune(s)
-		} else if d < d2 {
+			bestKey = r
+		} else if d < d2 || (d <= d2 && r < altKey) {
 			d2 = d
-			altKey = firstRune(s)
+			altKey = r
 		}
 	}
 	bestNoise, bestNoiseDist := NoiseClass(""), math.Inf(1)
@@ -161,11 +174,12 @@ func (m *Model) ClassifyDenoised(v trace.Vec) Verdict {
 	m.buildNoiseIndex()
 	bestKey, d1, d2 := rune(0), math.Inf(1), math.Inf(1)
 	for s, c := range m.Keys {
+		r := firstRune(s)
 		d := m.nearestNoiseTo(v.Sub(c))
-		if d < d1 {
+		if d < d1 || (d <= d1 && r < bestKey) {
 			d2 = d1
 			d1 = d
-			bestKey = firstRune(s)
+			bestKey = r
 		} else if d < d2 {
 			d2 = d
 		}

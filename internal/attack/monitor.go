@@ -4,7 +4,6 @@ import (
 	"errors"
 	"math"
 
-	"gpuleak/internal/kgsl"
 	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
@@ -68,7 +67,7 @@ func (a *Attack) MonitorAndEavesdrop(f DeviceFile, start, end sim.Time, opts Mon
 	}
 	opts = opts.withDefaults(interval)
 
-	s, err := NewSamplerRetry(f, opts.IdleInterval, a.Retry)
+	s, err := NewSamplerTaxonomy(f, opts.IdleInterval, a.Retry, a.Errors)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +78,7 @@ func (a *Attack) MonitorAndEavesdrop(f DeviceFile, start, end sim.Time, opts Mon
 	out := &MonitorResult{}
 	prev, err := f.ReadSelected(start)
 	havePrev := err == nil
-	if err != nil && (!a.Retry.Enabled() || !Retryable(err)) {
+	if err != nil && (!a.Retry.Enabled() || !a.retryable(err)) {
 		return nil, &SampleError{At: start, Op: "read", Attempts: 1, Err: err}
 	}
 	// Recent non-zero deltas; a launch frame may split across two idle
@@ -100,14 +99,14 @@ func (a *Attack) MonitorAndEavesdrop(f DeviceFile, start, end sim.Time, opts Mon
 			// tick: a launch fingerprint spans several reads, so the
 			// low-duty watcher tolerates holes the same way the full-rate
 			// sampler converts them into trace gaps.
-			if !a.Retry.Enabled() || !Retryable(err) {
+			if !a.Retry.Enabled() || !a.retryable(err) {
 				return nil, &SampleError{At: t, Op: "read", Attempts: 1, Err: err}
 			}
 			badTicks++
 			if a.Retry.MaxBadTicks > 0 && badTicks > a.Retry.MaxBadTicks {
 				return nil, &SampleError{At: t, Op: "read", Attempts: badTicks, Err: err}
 			}
-			if errors.Is(err, kgsl.ErrNotReserved) {
+			if errors.Is(err, a.taxonomy().NotReserved) {
 				// Best effort: re-reserve now so the next tick can read.
 				_ = f.ReserveSelected(t)
 			}

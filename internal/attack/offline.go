@@ -7,8 +7,14 @@ import (
 	"sort"
 
 	"gpuleak/internal/android"
+	"gpuleak/internal/channel"
 	"gpuleak/internal/input"
+
+	// Register the default channel: Collect with an empty Channel must
+	// work wherever the attack package does, or every pre-channel-plane
+	// call site would break at run time.
 	"gpuleak/internal/keyboard"
+	_ "gpuleak/internal/kgslchan"
 	"gpuleak/internal/obs"
 	"gpuleak/internal/parallel"
 	"gpuleak/internal/sim"
@@ -34,6 +40,10 @@ type CollectOptions struct {
 	// index order before fan-out, so the exported stream is identical at
 	// any worker count.
 	Obs *obs.Tracer
+	// Channel names the side channel to collect through (registry name;
+	// empty = the default KGSL channel). The resulting model is tagged
+	// with the channel and only classifies deltas from it.
+	Channel string
 }
 
 func (o CollectOptions) withDefaults(vsync sim.Time) CollectOptions {
@@ -52,8 +62,16 @@ func (o CollectOptions) withDefaults(vsync sim.Time) CollectOptions {
 	return o
 }
 
-// ModelKeyFor derives the classifier identity from a victim configuration.
+// ModelKeyFor derives the classifier identity from a victim
+// configuration, on the default (KGSL) channel.
 func ModelKeyFor(cfg victim.Config) ModelKey {
+	return ModelKeyForChannel(cfg, "")
+}
+
+// ModelKeyForChannel derives the classifier identity from a victim
+// configuration and a channel name; the default channel canonicalizes to
+// an empty tag so legacy keys are unchanged.
+func ModelKeyForChannel(cfg victim.Config, ch string) ModelKey {
 	res := cfg.Resolution
 	if res.W == 0 {
 		res = cfg.Device.DefaultResolution()
@@ -71,6 +89,7 @@ func ModelKeyFor(cfg victim.Config) ModelKey {
 		Resolution: res.String(),
 		Keyboard:   kbName,
 		RefreshHz:  hz,
+		Channel:    channel.Canonical(ch),
 	}
 }
 
@@ -151,12 +170,12 @@ func labelWindows(sess *victim.Session, script input.Script, wlen sim.Time) []wi
 // (e.g. a popup-animation duplication) is discarded — it replays a
 // signature that is already labeled. Sampling stops shortly after the
 // last window since later deltas could not be labeled anyway.
-func sampleWindows(sess *victim.Session, interval sim.Time, wins []window, obsTr *obs.Tracer) ([]trace.Vec, []bool, error) {
-	f, err := sess.Open()
+func sampleWindows(ch channel.Channel, sess *victim.Session, interval sim.Time, wins []window, obsTr *obs.Tracer) ([]trace.Vec, []bool, error) {
+	f, err := ch.Open(sess)
 	if err != nil {
 		return nil, nil, fmt.Errorf("attack: offline phase: %w", err)
 	}
-	sampler, err := NewSampler(f, interval)
+	sampler, err := NewSamplerTaxonomy(f, interval, RetryPolicy{}, ch.Taxonomy())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -216,7 +235,7 @@ type taskOut struct {
 // directions (the trailing press switches symbol→lower) and cursor
 // blinks. Its key windows are labeled so press deltas cannot pollute
 // adjacent noise windows, then discarded.
-func collectSweep(opts CollectOptions, sess *victim.Session, alphabet []rune, wlen sim.Time, obsTr *obs.Tracer) (taskOut, error) {
+func collectSweep(ch channel.Channel, opts CollectOptions, sess *victim.Session, alphabet []rune, wlen sim.Time, obsTr *obs.Tracer) (taskOut, error) {
 	var script input.Script
 	t := 600 * sim.Millisecond
 	press := func(r rune) {
@@ -235,7 +254,7 @@ func collectSweep(opts CollectOptions, sess *victim.Session, alphabet []rune, wl
 		obs.Str("kind", "sweep"), obs.Int("keys", len(alphabet)))
 	sess.Device.SetMetrics(obsTr.Metrics())
 	wins := labelWindows(sess, script, wlen)
-	sums, got, err := sampleWindows(sess, opts.Interval, wins, obsTr)
+	sums, got, err := sampleWindows(ch, sess, opts.Interval, wins, obsTr)
 	if err != nil {
 		return taskOut{}, err
 	}
@@ -268,7 +287,7 @@ func collectSweep(opts CollectOptions, sess *victim.Session, alphabet []rune, wl
 // single key with nothing else on screen, yielding one candidate centroid
 // for that key. Cursor blink is disabled — the sweep task learns blink
 // signatures — so the key window is as clean as the hardware allows.
-func collectKey(cfg victim.Config, opts CollectOptions, r rune, repeat int, wlen sim.Time, obsTr *obs.Tracer) (taskOut, error) {
+func collectKey(ch channel.Channel, cfg victim.Config, opts CollectOptions, r rune, repeat int, wlen sim.Time, obsTr *obs.Tracer) (taskOut, error) {
 	cfg.DisableCursorBlink = true
 	sess := victim.New(cfg)
 	script := input.Script{Events: []input.Event{{
@@ -280,7 +299,7 @@ func collectKey(cfg victim.Config, opts CollectOptions, r rune, repeat int, wlen
 		obs.Str("kind", "key"), obs.Str("rune", string(r)), obs.Int("repeat", repeat))
 	sess.Device.SetMetrics(obsTr.Metrics())
 	wins := labelWindows(sess, script, wlen)
-	sums, got, err := sampleWindows(sess, opts.Interval, wins, obsTr)
+	sums, got, err := sampleWindows(ch, sess, opts.Interval, wins, obsTr)
 	if err != nil {
 		return taskOut{}, err
 	}
@@ -316,6 +335,10 @@ func Collect(cfg victim.Config, opts CollectOptions) (*Model, error) {
 // instead of a partial model. A run that completes is byte-identical to
 // Collect — cancellation can only abort, never skew.
 func CollectContext(ctx context.Context, cfg victim.Config, opts CollectOptions) (*Model, error) {
+	ch, err := channel.Get(opts.Channel)
+	if err != nil {
+		return nil, err
+	}
 	// Controlled collection environment: the attacker owns this device, so
 	// notifications are silenced; cursor blink stays on because its delta
 	// signature must be learned as noise.
@@ -367,15 +390,15 @@ func CollectContext(ctx context.Context, cfg victim.Config, opts CollectOptions)
 
 	outs, err := parallel.MapCtx(ctx, opts.Workers, nTasks, func(i int) (taskOut, error) {
 		if i == 0 {
-			return collectSweep(opts, sweepSess, alphabet, wlen, child(0))
+			return collectSweep(ch, opts, sweepSess, alphabet, wlen, child(0))
 		}
-		return collectKey(taskCfg(i), opts, alphabet[(i-1)%nKeys], (i-1)/nKeys, wlen, child(i))
+		return collectKey(ch, taskCfg(i), opts, alphabet[(i-1)%nKeys], (i-1)/nKeys, wlen, child(i))
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	m := &Model{Key: ModelKeyFor(cfg), Keys: make(map[string]trace.Vec)}
+	m := &Model{Key: ModelKeyForChannel(cfg, ch.Name()), Keys: make(map[string]trace.Vec)}
 
 	// Key centroids: keep the smallest-magnitude repeat (a repeat whose
 	// window accidentally caught extra work sums high). Tasks are merged

@@ -5,18 +5,27 @@ import (
 	"fmt"
 
 	"gpuleak/internal/adreno"
-	"gpuleak/internal/kgsl"
+	"gpuleak/internal/fault"
 	"gpuleak/internal/sim"
 )
 
-// DeviceFile is the device surface the attack pipeline samples through:
-// the three calls it issues against an open KGSL handle. *kgsl.File
-// satisfies it directly; *fault.File satisfies it with a fault plane in
-// between. The pipeline never needs more of the device than this.
-type DeviceFile interface {
-	Ioctl(t sim.Time, request uint32, arg any) error
+// Probe is the channel surface the attack pipeline samples through: the
+// two calls the sampler issues per polling tick, on any registered side
+// channel. It matches channel.Probe; *kgsl.File, *fault.File and
+// *proccount.Probe all satisfy it structurally.
+type Probe interface {
 	ReserveSelected(t sim.Time) error
 	ReadSelected(t sim.Time) ([adreno.NumSelected]uint64, error)
+}
+
+// DeviceFile is the KGSL-shaped superset of Probe: the device surface of
+// the original channel, with the raw ioctl entry point the §9 mitigation
+// experiments drive directly. *kgsl.File satisfies it directly;
+// *fault.File satisfies it with a fault plane in between. The generic
+// pipeline needs only the Probe subset.
+type DeviceFile interface {
+	Ioctl(t sim.Time, request uint32, arg any) error
+	Probe
 }
 
 // TickFaults is the optional clock-perturbation surface of a device
@@ -65,17 +74,26 @@ func (e *SampleError) Unwrap() error { return e.Err }
 // an active mitigation) and protocol errors are fatal.
 func (e *SampleError) Retryable() bool { return Retryable(e.Err) }
 
-// Retryable classifies a driver error as transient. It is sentinel-based
-// (errors.Is), never string-based: ErrBusy, ErrInval, ErrNotReserved and
-// ErrClosed are the transient family a real KGSL consumer sees under
-// contention, and ErrWrappedRead clears on re-read; everything else is
-// fatal.
+// Retryable classifies a driver error as transient under the default
+// (KGSL) taxonomy. It is sentinel-based (errors.Is), never string-based:
+// ErrBusy, ErrInval, ErrNotReserved and ErrClosed are the transient
+// family a real KGSL consumer sees under contention, and ErrWrappedRead
+// clears on re-read; everything else is fatal. Channel-aware callers use
+// RetryableIn with the channel's own taxonomy instead.
 func Retryable(err error) bool {
-	return errors.Is(err, kgsl.ErrBusy) ||
-		errors.Is(err, kgsl.ErrInval) ||
-		errors.Is(err, kgsl.ErrNotReserved) ||
-		errors.Is(err, kgsl.ErrClosed) ||
-		errors.Is(err, ErrWrappedRead)
+	return RetryableIn(err, fault.Taxonomy{})
+}
+
+// RetryableIn classifies a driver error as transient under a channel's
+// error taxonomy (an invalid/zero taxonomy means KGSL, the default
+// channel). ErrWrappedRead is retryable on every channel: cumulative
+// counters clearing on re-read is a property of the sampler, not the
+// driver.
+func RetryableIn(err error, tax fault.Taxonomy) bool {
+	if !tax.Valid() {
+		tax = fault.KGSL()
+	}
+	return tax.Retryable(err) || errors.Is(err, ErrWrappedRead)
 }
 
 // RetryPolicy bounds how hard the sampler fights transient device

@@ -6,7 +6,7 @@ import (
 	"fmt"
 
 	"gpuleak/internal/adreno"
-	"gpuleak/internal/kgsl"
+	"gpuleak/internal/fault"
 	"gpuleak/internal/obs"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/trace"
@@ -22,10 +22,12 @@ const DefaultInterval = 8 * sim.Millisecond
 // reports it retryable.
 var ErrWrappedRead = errors.New("attack: wrapped counter read (value regressed)")
 
-// Sampler periodically block-reads the 11 selected counters through the
-// KGSL device file, exactly as the paper's monitoring service does (§4,
-// Figure 10). The polling interval should be at most half the screen
-// refresh interval so every frame is covered by at least one reading.
+// Sampler periodically block-reads a side channel's counters, exactly as
+// the paper's monitoring service does over KGSL (§4, Figure 10). The
+// polling interval should be at most half the screen refresh interval so
+// every frame is covered by at least one reading. The sampler is channel
+// generic: File is any probe, and Errors carries the channel's transient
+// -error taxonomy (zero value = KGSL, the original channel).
 //
 // With the zero-value Retry policy any device error aborts the
 // collection; with a policy enabled the sampler retries transient errors
@@ -34,8 +36,13 @@ var ErrWrappedRead = errors.New("attack: wrapped counter read (value regressed)"
 // gaps — recovery work it accounts in Stats. The retry clock is
 // simulated time only, so retried runs replay bit-identically.
 type Sampler struct {
-	File     DeviceFile
+	File     Probe
 	Interval sim.Time
+	// Errors is the channel's transient-error taxonomy, governing what the
+	// retry policy recovers and which sentinel triggers re-reservation.
+	// The zero value means the KGSL taxonomy, keeping every legacy call
+	// site byte-identical.
+	Errors fault.Taxonomy
 	// Retry bounds recovery from transient device errors. The zero value
 	// disables retrying (any error is fatal).
 	Retry RetryPolicy
@@ -48,19 +55,28 @@ type Sampler struct {
 	Obs *obs.Tracer
 }
 
-// NewSampler reserves the selected counters on the device file and
-// returns a sampler. A reservation failure (e.g. an RBAC mitigation
-// denying PERFCOUNTER_GET) is reported as a *SampleError wrapping the
-// driver sentinel.
-func NewSampler(f DeviceFile, interval sim.Time) (*Sampler, error) {
+// NewSampler reserves the selected counters on the probe and returns a
+// sampler. A reservation failure (e.g. an RBAC mitigation denying
+// PERFCOUNTER_GET) is reported as a *SampleError wrapping the driver
+// sentinel.
+func NewSampler(f Probe, interval sim.Time) (*Sampler, error) {
 	return NewSamplerRetry(f, interval, RetryPolicy{})
 }
 
 // NewSamplerRetry is NewSampler with a retry policy: the initial
 // reservation itself is retried with sim-time backoff (a fault plane can
 // make even PERFCOUNTER_GET fail transiently), and the policy governs
-// every subsequent collection.
-func NewSamplerRetry(f DeviceFile, interval sim.Time, policy RetryPolicy) (*Sampler, error) {
+// every subsequent collection. Errors are classified under the KGSL
+// taxonomy; NewSamplerTaxonomy is the channel-aware variant.
+func NewSamplerRetry(f Probe, interval sim.Time, policy RetryPolicy) (*Sampler, error) {
+	return NewSamplerTaxonomy(f, interval, policy, fault.Taxonomy{})
+}
+
+// NewSamplerTaxonomy is NewSamplerRetry with an explicit channel error
+// taxonomy (zero value = KGSL): reservation retries, per-tick retry
+// classification and the re-reservation trigger all follow the given
+// channel's sentinels.
+func NewSamplerTaxonomy(f Probe, interval sim.Time, policy RetryPolicy, tax fault.Taxonomy) (*Sampler, error) {
 	if interval <= 0 {
 		interval = DefaultInterval
 	}
@@ -71,13 +87,24 @@ func NewSamplerRetry(f DeviceFile, interval sim.Time, policy RetryPolicy) (*Samp
 		if err == nil {
 			break
 		}
-		if !policy.Enabled() || !Retryable(err) || attempt+1 >= policy.MaxAttempts {
+		if !policy.Enabled() || !RetryableIn(err, tax) || attempt+1 >= policy.MaxAttempts {
 			return nil, &SampleError{At: at, Op: "reserve", Attempts: attempt + 1, Err: err}
 		}
 		at += policy.BackoffAt(attempt)
 	}
-	return &Sampler{File: f, Interval: interval, Retry: policy}, nil
+	return &Sampler{File: f, Interval: interval, Retry: policy, Errors: tax}, nil
 }
+
+// taxonomy resolves the sampler's error taxonomy, defaulting to KGSL.
+func (s *Sampler) taxonomy() fault.Taxonomy {
+	if s.Errors.Valid() {
+		return s.Errors
+	}
+	return fault.KGSL()
+}
+
+// retryable classifies a driver error under the sampler's taxonomy.
+func (s *Sampler) retryable(err error) bool { return RetryableIn(err, s.Errors) }
 
 // Collect polls the counters over [start, end] and returns the trace.
 // Device errors abort the collection unless the Retry policy recovers
@@ -126,7 +153,7 @@ func (s *Sampler) CollectContext(ctx context.Context, start, end sim.Time) (*tra
 		}
 		vals, at, serr := s.readTick(readAt, t+s.Interval, prev, havePrev)
 		if serr != nil {
-			if !s.Retry.Enabled() || !serr.Retryable() {
+			if !s.Retry.Enabled() || !s.retryable(serr.Err) {
 				if s.Obs != nil {
 					s.Obs.Emit(at, evSamplerReadError, obs.Str("err", serr.Err.Error()))
 					sp.AddField(obs.Int("samples", tr.Len()))
@@ -196,11 +223,11 @@ func (s *Sampler) readTick(readAt, deadline sim.Time, prev [adreno.NumSelected]u
 				s.Obs.Emit(tryAt, evSamplerRetry,
 					obs.Int("attempt", attempt), obs.Str("err", lastErr.Error()))
 			}
-			if errors.Is(lastErr, kgsl.ErrNotReserved) {
+			if errors.Is(lastErr, s.taxonomy().NotReserved) {
 				// The counter group was revoked mid-session (another process
 				// issued PERFCOUNTER_PUT/GET); re-reserve before re-reading.
 				if rerr := s.File.ReserveSelected(tryAt); rerr != nil {
-					if !Retryable(rerr) {
+					if !s.retryable(rerr) {
 						return zero, tryAt, &SampleError{At: tryAt, Op: "reserve", Attempts: attempt, Err: rerr}
 					}
 					lastErr = rerr
@@ -214,7 +241,7 @@ func (s *Sampler) readTick(readAt, deadline sim.Time, prev [adreno.NumSelected]u
 		}
 		vals, err := s.File.ReadSelected(tryAt)
 		if err != nil {
-			if !s.Retry.Enabled() || !Retryable(err) {
+			if !s.Retry.Enabled() || !s.retryable(err) {
 				return zero, tryAt, &SampleError{At: tryAt, Op: "read", Attempts: attempt + 1, Err: err}
 			}
 			lastErr = err

@@ -1,0 +1,89 @@
+package channel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gpuleak/internal/fault"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/victim"
+)
+
+// fakeChannel is a registry-only throwaway: Open is never called.
+type fakeChannel struct{ name string }
+
+func (c fakeChannel) Name() string                             { return c.name }
+func (c fakeChannel) Dims() int                                { return 1 }
+func (c fakeChannel) Open(sess *victim.Session) (Probe, error) { return nil, nil }
+func (c fakeChannel) Taxonomy() fault.Taxonomy                 { return fault.Taxonomy{} }
+func (c fakeChannel) Interval() sim.Time                       { return sim.Millisecond }
+
+func TestRegistryRoundTrip(t *testing.T) {
+	Register(fakeChannel{name: "test.roundtrip"})
+	c, err := Get("test.roundtrip")
+	if err != nil {
+		t.Fatalf("Get after Register: %v", err)
+	}
+	if c.Name() != "test.roundtrip" {
+		t.Errorf("Get returned %q", c.Name())
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test.roundtrip" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v does not list the registered channel", Names())
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	_, err := Get("test.unknown")
+	if !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("Get(unknown) = %v; want ErrUnknownChannel", err)
+	}
+	if !strings.Contains(err.Error(), "test.unknown") {
+		t.Errorf("error %q does not name the channel", err)
+	}
+}
+
+func TestGetEmptyResolvesDefault(t *testing.T) {
+	// The default channel is registered by its own package, which this
+	// package cannot import (it would invert the dependency); the empty
+	// name must at least normalize onto DefaultName's registry entry.
+	_, err := Get("")
+	_, errDefault := Get(DefaultName)
+	if (err == nil) != (errDefault == nil) {
+		t.Fatalf("Get(\"\") = %v but Get(%q) = %v; they must agree", err, DefaultName, errDefault)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(fakeChannel{name: "test.dup"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(fakeChannel{name: "test.dup"})
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-name Register did not panic")
+		}
+	}()
+	Register(fakeChannel{name: ""})
+}
+
+func TestCanonical(t *testing.T) {
+	if got := Canonical(DefaultName); got != "" {
+		t.Errorf("Canonical(%q) = %q; the default channel keeps the legacy empty tag", DefaultName, got)
+	}
+	if got := Canonical("proccount"); got != "proccount" {
+		t.Errorf("Canonical(proccount) = %q", got)
+	}
+}

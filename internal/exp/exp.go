@@ -129,12 +129,19 @@ func TrainModel(cfg victim.Config) (*attack.Model, error) {
 // trained model — collection is byte-identical at any worker count — so
 // it is not part of the cache key.
 func TrainModelWorkers(cfg victim.Config, workers int) (*attack.Model, error) {
+	return TrainModelChannel(cfg, workers, "")
+}
+
+// TrainModelChannel is TrainModelWorkers on a named side channel (empty =
+// the default KGSL channel); models of different channels cache under
+// different keys.
+func TrainModelChannel(cfg victim.Config, workers int, channel string) (*attack.Model, error) {
 	train := cfg
 	train.RenderJitter = 0
 	train.CPULoad = 0
 	train.GPULoad = 0
 	train.Seed = 12345
-	key := attack.ModelKeyFor(train).String() + fmt.Sprintf("/app=%s", appName(train))
+	key := attack.ModelKeyForChannel(train, channel).String() + fmt.Sprintf("/app=%s", appName(train))
 	modelMu.Lock()
 	e, ok := modelCache[key]
 	if !ok {
@@ -143,7 +150,7 @@ func TrainModelWorkers(cfg victim.Config, workers int) (*attack.Model, error) {
 	}
 	modelMu.Unlock()
 	e.once.Do(func() {
-		e.m, e.err = attack.Collect(train, attack.CollectOptions{Repeats: 2, Workers: workers})
+		e.m, e.err = attack.Collect(train, attack.CollectOptions{Repeats: 2, Workers: workers, Channel: channel})
 	})
 	return e.m, e.err
 }

@@ -55,6 +55,7 @@ var All = []Experiment{
 	{"ablation-corrections", "correction tracking recovers backspaced credentials", RunAblationCorrections},
 	{"ablation-greedy", "whole-trace segmentation trades timeliness for accuracy (§5.1)", RunAblationGreedyVsOffline},
 	{"chaos", "injected device faults degrade accuracy monotonically, never availability", RunChaos},
+	{"fusion", "multi-channel fusion beats the best single channel under CPU starvation", RunFusion},
 }
 
 // ByID finds an experiment.

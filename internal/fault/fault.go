@@ -51,8 +51,11 @@ type Profile struct {
 	PRevoke float64 `json:"p_revoke,omitempty"`
 	// PDropTick is the per-tick probability that the sampler misses a
 	// poll entirely (the monitoring process lost the CPU for the whole
-	// interval).
+	// interval); DropBurst is how many consecutive ticks are lost once it
+	// fires (minimum 1) — a foreground app pinning the CPUs deschedules
+	// the polling loop for whole bursts, not single intervals.
 	PDropTick float64 `json:"p_drop_tick,omitempty"`
+	DropBurst int     `json:"drop_burst,omitempty"`
 	// PLateTick is the per-tick probability that a poll lands late by a
 	// uniform delay in (0, LateMax]; LateMax defaults to 2 ms.
 	PLateTick float64  `json:"p_late_tick,omitempty"`
@@ -76,7 +79,13 @@ func (p Profile) IsZero() bool {
 // Rate is a crude severity scalar (the sum of all probabilities), used
 // only to order profiles in reports and monotonicity tests.
 func (p Profile) Rate() float64 {
-	return p.PBusy + p.PInval + p.PRevoke + p.PDropTick + p.PLateTick + p.PWrap + p.PClose
+	drop := p.PDropTick
+	if p.DropBurst > 1 {
+		// One drop event costs DropBurst consecutive ticks, so the
+		// per-tick loss fraction scales with the burst length.
+		drop *= float64(p.DropBurst)
+	}
+	return p.PBusy + p.PInval + p.PRevoke + drop + p.PLateTick + p.PWrap + p.PClose
 }
 
 // Predefined profiles, in increasing severity. Rates are chosen so that
@@ -118,10 +127,21 @@ var (
 		PWrap:  0.01,
 		PClose: 0.004, CloseOps: 3,
 	}
+	// Starve models CPU starvation of the monitoring process: a heavy
+	// foreground workload deschedules the polling loop in multi-tick
+	// bursts, so whole key presses vanish between reads while the device
+	// itself stays healthy. This is the profile where a second,
+	// non-KGSL observation channel pays off — the ioctl sampler loses
+	// entire presses, and only cross-channel fusion gets them back.
+	Starve = Profile{
+		Name:      "starve",
+		PDropTick: 0.035, DropBurst: 5,
+		PLateTick: 0.05, LateMax: 2 * sim.Millisecond,
+	}
 )
 
 // Profiles returns the predefined profiles in increasing severity.
-func Profiles() []Profile { return []Profile{None, Mild, Moderate, Severe} }
+func Profiles() []Profile { return []Profile{None, Mild, Moderate, Severe, Starve} }
 
 // ByName resolves a predefined profile by its Name.
 func ByName(name string) (Profile, bool) {

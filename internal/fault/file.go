@@ -89,18 +89,31 @@ type File struct {
 
 	dev Device
 	p   Profile
+	tax Taxonomy
 	rng *sim.Rand
 
 	revoked    bool // reservation revoked; reads fail until ReserveSelected
 	busyLeft   int  // remaining operations of the current EBUSY burst
+	dropLeft   int  // remaining ticks of the current drop burst
 	closedLeft int  // remaining operations of the current transient closure
 }
 
 // NewFile wraps dev in a fault plane driven by profile p and the given
-// seed. Burst-shape fields are defaulted (BusyBurst≥1, CloseOps≥3,
-// LateMax 2 ms). A zero/None profile is a pure passthrough that never
-// touches the RNG.
+// seed, injecting the KGSL errno taxonomy — the historical behavior.
+// Burst-shape fields are defaulted (BusyBurst≥1, CloseOps≥3, LateMax
+// 2 ms). A zero/None profile is a pure passthrough that never touches
+// the RNG.
 func NewFile(dev Device, p Profile, seed int64) *File {
+	return NewFileTaxonomy(dev, p, seed, KGSL())
+}
+
+// NewFileTaxonomy is NewFile with an explicit error taxonomy: injections
+// surface the given channel's sentinels instead of KGSL errnos, so a
+// retry policy classifying with the same taxonomy recovers them. Invalid
+// taxonomies fall back to KGSL. The draw schedule is taxonomy-independent
+// — only the returned error values differ — and a zero/None profile stays
+// a byte-identical passthrough on every channel.
+func NewFileTaxonomy(dev Device, p Profile, seed int64, tax Taxonomy) *File {
 	if p.BusyBurst < 1 {
 		p.BusyBurst = 1
 	}
@@ -110,11 +123,17 @@ func NewFile(dev Device, p Profile, seed int64) *File {
 	if p.LateMax <= 0 {
 		p.LateMax = 2 * sim.Millisecond
 	}
-	return &File{dev: dev, p: p, rng: sim.NewRand(seed)}
+	if !tax.Valid() {
+		tax = KGSL()
+	}
+	return &File{dev: dev, p: p, tax: tax, rng: sim.NewRand(seed)}
 }
 
 // Profile returns the (defaulted) profile driving this plane.
 func (f *File) Profile() Profile { return f.p }
+
+// Taxonomy returns the error taxonomy this plane injects.
+func (f *File) Taxonomy() Taxonomy { return f.tax }
 
 // faultMetric maps an injected fault kind onto its counter name. The
 // counter namespace is the closed set of kinds this plane injects — a
@@ -157,30 +176,30 @@ func (f *File) opFault(t sim.Time, op string) error {
 	if f.closedLeft > 0 {
 		f.closedLeft--
 		f.emitOp(t, op, "closed")
-		return kgsl.ErrClosed
+		return f.tax.Closed
 	}
 	if f.busyLeft > 0 {
 		f.busyLeft--
 		f.Stats.Busy++
 		f.emitOp(t, op, "busy")
-		return kgsl.ErrBusy
+		return f.tax.Busy
 	}
 	if f.p.PClose > 0 && f.rng.Bool(f.p.PClose) {
 		f.closedLeft = f.p.CloseOps - 1
 		f.Stats.Closures++
 		f.emitOp(t, op, "closed")
-		return kgsl.ErrClosed
+		return f.tax.Closed
 	}
 	if f.p.PBusy > 0 && f.rng.Bool(f.p.PBusy) {
 		f.busyLeft = f.p.BusyBurst - 1
 		f.Stats.Busy++
 		f.emitOp(t, op, "busy")
-		return kgsl.ErrBusy
+		return f.tax.Busy
 	}
 	if f.p.PInval > 0 && f.rng.Bool(f.p.PInval) {
 		f.Stats.Inval++
 		f.emitOp(t, op, "inval")
-		return kgsl.ErrInval
+		return f.tax.Inval
 	}
 	return nil
 }
@@ -193,7 +212,7 @@ func (f *File) Ioctl(t sim.Time, request uint32, arg any) error {
 		return err
 	}
 	if f.revoked && request == kgsl.IoctlPerfcounterRead {
-		return kgsl.ErrNotReserved
+		return f.tax.NotReserved
 	}
 	return f.dev.Ioctl(t, request, arg)
 }
@@ -224,13 +243,13 @@ func (f *File) ReadSelected(t sim.Time) ([adreno.NumSelected]uint64, error) {
 		return zero, err
 	}
 	if f.revoked {
-		return zero, kgsl.ErrNotReserved
+		return zero, f.tax.NotReserved
 	}
 	if f.p.PRevoke > 0 && f.rng.Bool(f.p.PRevoke) {
 		f.revoked = true
 		f.Stats.Revocations++
 		f.emitOp(t, "read", "revoked")
-		return zero, kgsl.ErrNotReserved
+		return zero, f.tax.NotReserved
 	}
 	vals, err := f.dev.ReadSelected(t)
 	if err != nil {
@@ -250,7 +269,14 @@ func (f *File) ReadSelected(t sim.Time) ([adreno.NumSelected]uint64, error) {
 // (0, LateMax]. The sampler type-asserts for this method, so wrapping a
 // device in a File is all it takes to perturb the polling clock.
 func (f *File) TickFault(tick int, t sim.Time) (delay sim.Time, drop bool) {
-	if f.p.PDropTick > 0 && f.rng.Bool(f.p.PDropTick) {
+	if f.dropLeft > 0 || (f.p.PDropTick > 0 && f.rng.Bool(f.p.PDropTick)) {
+		if f.dropLeft == 0 {
+			f.dropLeft = f.p.DropBurst
+			if f.dropLeft < 1 {
+				f.dropLeft = 1
+			}
+		}
+		f.dropLeft--
 		f.Stats.DroppedTicks++
 		if f.Obs != nil {
 			f.Obs.Emit(t, evTick, obs.Int("tick", tick), obs.Str("kind", "drop"))

@@ -1,0 +1,36 @@
+// Package kgslchan registers the KGSL perf-counter side channel — the
+// paper's original attack surface — as the default implementation of the
+// channel plane. It is a thin adapter: opening a probe is exactly
+// victim.Session.Open (an unprivileged handle on /dev/kgsl-3d0), all
+// trace.Width feature dimensions carry the Table-1 counters, and the
+// error taxonomy is the KGSL errno family the retry machinery always
+// classified. Every output of the pipeline through this adapter is
+// byte-identical to the pre-channel-plane code path, which the golden
+// tests pin.
+package kgslchan
+
+import (
+	"gpuleak/internal/channel"
+	"gpuleak/internal/fault"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/trace"
+	"gpuleak/internal/victim"
+)
+
+type kgslChannel struct{}
+
+func (kgslChannel) Name() string { return channel.DefaultName }
+
+func (kgslChannel) Dims() int { return trace.Width }
+
+func (kgslChannel) Open(sess *victim.Session) (channel.Probe, error) {
+	return sess.Open()
+}
+
+func (kgslChannel) Taxonomy() fault.Taxonomy { return fault.KGSL() }
+
+// Interval is the paper's §7 default: the selected GPU performance
+// counters are read every 8 ms (attack.DefaultInterval).
+func (kgslChannel) Interval() sim.Time { return 8 * sim.Millisecond }
+
+func init() { channel.Register(kgslChannel{}) }

@@ -22,11 +22,17 @@ import (
 
 	"gpuleak/internal/android"
 	"gpuleak/internal/attack"
+	"gpuleak/internal/channel"
 	"gpuleak/internal/fault"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
 	"gpuleak/internal/sim"
 	"gpuleak/internal/victim"
+
+	// Register the built-in side channels so a bare server binary can
+	// resolve every advertised channel name.
+	_ "gpuleak/internal/kgslchan"
+	_ "gpuleak/internal/proccount"
 )
 
 // Schema identifies the wire format of every JSON response body.
@@ -64,6 +70,15 @@ type EavesdropRequest struct {
 	// FaultSeed seeds the fault schedule; 0 derives it from Seed, so the
 	// same request always faces the same bit-identical schedule.
 	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// Channel names the side channel the run samples; empty means "kgsl",
+	// the GPU perf-counter channel. GET /healthz advertises the registered
+	// names; unknown ones answer 400.
+	Channel string `json:"channel,omitempty"`
+	// Channels requests a multi-channel run: the first entry is the
+	// primary channel, the second the secondary whose detections are fused
+	// into the primary's result (at most two). It overrides Channel.
+	// Streaming sessions are single-channel; fusion is one-shot only.
+	Channels []string `json:"channels,omitempty"`
 	// PaceMS, honored only by streaming sessions, inserts a wall-clock
 	// pause of this many milliseconds after every key/retract frame —
 	// a demo/debug knob that makes the stream observable in real time and
@@ -96,14 +111,38 @@ type EavesdropResponse struct {
 	// Recovery details the sampler's recovery work; present only on
 	// degraded responses.
 	Recovery *attack.CollectStats `json:"recovery,omitempty"`
+	// Channel is the primary side channel the run sampled; omitted for the
+	// default KGSL channel, keeping legacy responses byte-identical.
+	Channel string `json:"channel,omitempty"`
+	// Fusion summarizes a multi-channel run; omitted on single-channel
+	// runs.
+	Fusion *FusionInfo `json:"fusion,omitempty"`
+}
+
+// FusionInfo reports what decision-level fusion did on a multi-channel
+// run; the response's top-level fields describe the fused result.
+type FusionInfo struct {
+	// Channels are the registry names of the fused channels, primary
+	// first.
+	Channels []string `json:"channels"`
+	// PrimaryText and SecondaryText are the per-channel single-channel
+	// readings the fusion consumed.
+	PrimaryText   string `json:"primary_text"`
+	SecondaryText string `json:"secondary_text"`
+	// Recovered counts keys inserted on secondary evidence; Flipped counts
+	// primary verdicts flipped to their alternate.
+	Recovered int `json:"recovered"`
+	Flipped   int `json:"flipped"`
 }
 
 // TrainRequest is the body of POST /v1/train: warm the registry for a
 // configuration without running an eavesdrop.
 type TrainRequest struct {
-	Device    string `json:"device,omitempty"`
-	App       string `json:"app,omitempty"`
-	Keyboard  string `json:"keyboard,omitempty"`
+	Device   string `json:"device,omitempty"`
+	App      string `json:"app,omitempty"`
+	Keyboard string `json:"keyboard,omitempty"`
+	// Channel selects the side channel to train for; empty means "kgsl".
+	Channel   string `json:"channel,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
@@ -148,6 +187,8 @@ type HealthResponse struct {
 	Shards   int `json:"shards"`
 	// Sessions counts resident streaming sessions (created or attached).
 	Sessions int `json:"sessions"`
+	// Channels lists the registered side-channel names.
+	Channels []string `json:"channels"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx reply.
@@ -209,7 +250,7 @@ func RoutingKey(req EavesdropRequest) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return Key(TrainConfig(scen.Cfg)), nil
+	return ChannelKey(TrainConfig(scen.Cfg), scen.Primary()), nil
 }
 
 // Scenario is a fully resolved eavesdropping request: the victim
@@ -226,6 +267,18 @@ type Scenario struct {
 	// plane) and FaultSeed its schedule seed.
 	Fault     fault.Profile
 	FaultSeed int64
+	// Channels are the resolved channel registry names, primary first;
+	// empty means the default single-channel KGSL run.
+	Channels []string
+}
+
+// Primary returns the scenario's primary channel in canonical model-key
+// form: the empty string for the default KGSL channel.
+func (s Scenario) Primary() string {
+	if len(s.Channels) == 0 {
+		return ""
+	}
+	return channel.Canonical(s.Channels[0])
 }
 
 // ResolveScenario validates an EavesdropRequest against the device, app
@@ -267,6 +320,22 @@ func ResolveScenario(req EavesdropRequest) (Scenario, error) {
 	}
 	cfg.Keyboard = l
 	scen := Scenario{Cfg: cfg, Text: req.Text, Volunteer: req.Volunteer, Practical: req.Practical}
+	chans := req.Channels
+	if len(chans) == 0 && req.Channel != "" {
+		chans = []string{req.Channel}
+	}
+	if len(chans) > 2 {
+		return Scenario{}, fmt.Errorf("%w: at most two channels may be fused, got %d", ErrBadRequest, len(chans))
+	}
+	for _, name := range chans {
+		ch, err := channel.Get(name)
+		if err != nil {
+			// The error matches channel.ErrUnknownChannel, which statusFor
+			// maps onto 400.
+			return Scenario{}, fmt.Errorf("resolving request channel: %w", err)
+		}
+		scen.Channels = append(scen.Channels, ch.Name())
+	}
 	if req.FaultProfile != "" {
 		p, ok := fault.ByName(req.FaultProfile)
 		if !ok {
@@ -277,6 +346,10 @@ func ResolveScenario(req EavesdropRequest) (Scenario, error) {
 		scen.FaultSeed = req.FaultSeed
 		if scen.FaultSeed == 0 {
 			scen.FaultSeed = fault.Seed(req.Seed, 0)
+		}
+		if scen.Primary() != "" {
+			return Scenario{}, fmt.Errorf("%w: fault profiles model the KGSL ioctl path; primary channel %q cannot carry one",
+				ErrBadRequest, scen.Channels[0])
 		}
 	}
 	return scen, nil

@@ -1,0 +1,133 @@
+package serve
+
+// Tests of the HTTP channel surface: channel selection on eavesdrop and
+// train, the unknown-channel 400 contract, healthz advertising, and the
+// one-shot fusion path.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpuleak/internal/proccount"
+)
+
+func TestChannelUnknownAnswers400(t *testing.T) {
+	s := NewServer(Options{Shards: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"text":"abc","seed":1,"channel":"vbus"}`,
+		`{"text":"abc","seed":1,"channels":["kgsl","vbus"]}`,
+	} {
+		resp := postJSON(t, ts.URL+"/v1/eavesdrop", body)
+		er := decodeBody[ErrorResponse](t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400 (%s)", body, resp.StatusCode, er.Error)
+		}
+		if !strings.Contains(er.Error, "unknown channel") {
+			t.Errorf("body %s: error %q does not name the unknown channel", body, er.Error)
+		}
+	}
+	resp := postJSON(t, ts.URL+"/v1/train", `{"channel":"vbus"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("train with unknown channel: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthzAdvertisesChannels(t *testing.T) {
+	s := NewServer(Options{Shards: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := decodeBody[HealthResponse](t, resp)
+	found := map[string]bool{}
+	for _, name := range hr.Channels {
+		found[name] = true
+	}
+	if !found["kgsl"] || !found[proccount.Name] {
+		t.Fatalf("healthz channels %v missing a built-in", hr.Channels)
+	}
+}
+
+func TestEavesdropProccountChannel(t *testing.T) {
+	s := NewServer(Options{Shards: 1, TrainWorkers: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/eavesdrop", `{"text":"abc123","seed":5,"channel":"proccount"}`)
+	if resp.StatusCode != http.StatusOK {
+		er := decodeBody[ErrorResponse](t, resp)
+		t.Fatalf("status %d: %s", resp.StatusCode, er.Error)
+	}
+	er := decodeBody[EavesdropResponse](t, resp)
+	if er.Channel != proccount.Name {
+		t.Errorf("response channel %q, want %q", er.Channel, proccount.Name)
+	}
+	if !strings.Contains(er.Model, ":"+proccount.Name) {
+		t.Errorf("model key %q does not carry the channel tag", er.Model)
+	}
+	// The OS-counter channel resolves key families, not keys: it must
+	// still detect one press per typed character.
+	if er.Keys != len("abc123") {
+		t.Errorf("detected %d presses, want %d", er.Keys, len("abc123"))
+	}
+}
+
+func TestEavesdropFusionUnderStarve(t *testing.T) {
+	s := NewServer(Options{Shards: 1, TrainWorkers: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := `{"text":"hunter2","seed":9,"channels":["kgsl","proccount"],"fault_profile":"starve"}`
+	resp := postJSON(t, ts.URL+"/v1/eavesdrop", body)
+	if resp.StatusCode != http.StatusOK {
+		er := decodeBody[ErrorResponse](t, resp)
+		t.Fatalf("status %d: %s", resp.StatusCode, er.Error)
+	}
+	er := decodeBody[EavesdropResponse](t, resp)
+	if er.Fusion == nil {
+		t.Fatal("multi-channel response missing fusion info")
+	}
+	if len(er.Fusion.Channels) != 2 || er.Fusion.Channels[0] != "kgsl" {
+		t.Errorf("fusion channels = %v", er.Fusion.Channels)
+	}
+	if er.Channel != "" {
+		t.Errorf("kgsl-primary response tagged channel %q; default must stay empty", er.Channel)
+	}
+	if er.Truth != "hunter2" {
+		t.Errorf("truth %q", er.Truth)
+	}
+
+	// Determinism: the same request replays byte-identically.
+	resp2 := postJSON(t, ts.URL+"/v1/eavesdrop", body)
+	er2 := decodeBody[EavesdropResponse](t, resp2)
+	if er2.Text != er.Text || er2.Fusion.Recovered != er.Fusion.Recovered || er2.Fusion.Flipped != er.Fusion.Flipped {
+		t.Errorf("fusion replay diverged: %+v vs %+v", er2.Fusion, er.Fusion)
+	}
+}
+
+func TestSessionCreateRejectsMultiChannel(t *testing.T) {
+	s := NewServer(Options{Shards: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/sessions", `{"text":"abc","seed":1,"channels":["kgsl","proccount"]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("multi-channel session create: status %d, want 400", resp.StatusCode)
+	}
+	// A single named channel is fine.
+	resp = postJSON(t, ts.URL+"/v1/sessions", `{"text":"abc","seed":1,"channel":"proccount"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("single-channel session create: status %d, want 201", resp.StatusCode)
+	}
+}

@@ -12,11 +12,12 @@ import (
 	"gpuleak/internal/victim"
 )
 
-// TrainFunc runs the offline phase for one controlled configuration.
-// It must be deterministic in the configuration alone: the registry
-// deduplicates concurrent trainings, so whichever request triggers it
-// defines the model every later hit receives.
-type TrainFunc func(ctx context.Context, cfg victim.Config) (*attack.Model, error)
+// TrainFunc runs the offline phase for one controlled configuration on
+// one side channel (canonical name; "" = KGSL). It must be deterministic
+// in (configuration, channel) alone: the registry deduplicates
+// concurrent trainings, so whichever request triggers it defines the
+// model every later hit receives.
+type TrainFunc func(ctx context.Context, cfg victim.Config, channel string) (*attack.Model, error)
 
 // Registry is the sharded model store: classifiers keyed by victim
 // configuration, trained on miss exactly once per key (singleflight),
@@ -66,8 +67,8 @@ func NewRegistry(nShards, capPerShard int, train TrainFunc, m *obs.Metrics) *Reg
 		capPerShard = 1
 	}
 	if train == nil {
-		train = func(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
-			return attack.CollectContext(ctx, cfg, attack.CollectOptions{Repeats: 2})
+		train = func(ctx context.Context, cfg victim.Config, channel string) (*attack.Model, error) {
+			return attack.CollectContext(ctx, cfg, attack.CollectOptions{Repeats: 2, Channel: channel})
 		}
 	}
 	r := &Registry{cap: capPerShard, train: train, m: m}
@@ -80,12 +81,17 @@ func NewRegistry(nShards, capPerShard int, train TrainFunc, m *obs.Metrics) *Reg
 // Key derives the registry key of a victim configuration: the classifier
 // identity (device, resolution, keyboard, refresh rate) plus the target
 // app, whose login screen shapes the learned noise signatures.
-func Key(cfg victim.Config) string {
+func Key(cfg victim.Config) string { return ChannelKey(cfg, "") }
+
+// ChannelKey is Key for a model trained on a named side channel. The
+// default KGSL channel ("" or "kgsl") yields exactly Key(cfg), so
+// pre-channel-plane registry contents and shard routing are unchanged.
+func ChannelKey(cfg victim.Config, channel string) string {
 	app := "Chase"
 	if cfg.App != nil {
 		app = cfg.App.Name
 	}
-	return attack.ModelKeyFor(cfg).String() + "/app=" + app
+	return attack.ModelKeyForChannel(cfg, channel).String() + "/app=" + app
 }
 
 // ShardFor maps a registry key onto a shard index; the serving layer uses
@@ -106,7 +112,13 @@ func (r *Registry) Shards() int { return len(r.shards) }
 // and callers of other keys proceed independently. A failed training is
 // not cached — the entry is removed so a later request retries.
 func (r *Registry) Get(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
-	key := Key(cfg)
+	return r.GetChannel(ctx, cfg, "")
+}
+
+// GetChannel is Get for a model trained on a named side channel
+// (canonical name; "" = KGSL).
+func (r *Registry) GetChannel(ctx context.Context, cfg victim.Config, channel string) (*attack.Model, error) {
+	key := ChannelKey(cfg, channel)
 	sh := r.shards[r.ShardFor(key)]
 
 	sh.mu.Lock()
@@ -130,7 +142,7 @@ func (r *Registry) Get(ctx context.Context, cfg victim.Config) (*attack.Model, e
 	sh.mu.Unlock()
 	r.m.Add(mRegistryMisses, 1)
 
-	m, err := r.train(ctx, cfg)
+	m, err := r.train(ctx, cfg, channel)
 	e.m, e.err = m, err
 	sh.mu.Lock()
 	e.training = false
@@ -154,7 +166,12 @@ func (r *Registry) Get(ctx context.Context, cfg victim.Config) (*attack.Model, e
 // resident and trained; otherwise it fails with ErrModelNotTrained
 // (without waiting on an in-flight training and without training).
 func (r *Registry) Lookup(cfg victim.Config) (*attack.Model, error) {
-	key := Key(cfg)
+	return r.LookupChannel(cfg, "")
+}
+
+// LookupChannel is Lookup for a model trained on a named side channel.
+func (r *Registry) LookupChannel(cfg victim.Config, channel string) (*attack.Model, error) {
+	key := ChannelKey(cfg, channel)
 	sh := r.shards[r.ShardFor(key)]
 	sh.mu.Lock()
 	e, ok := sh.entries[key]

@@ -28,11 +28,11 @@ func cfgForApp(name string) victim.Config {
 // (so tests can check each Get got the right classifier) and counts
 // invocations per key.
 func fakeTrain(calls *sync.Map) TrainFunc {
-	return func(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
+	return func(ctx context.Context, cfg victim.Config, channel string) (*attack.Model, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		k := Key(cfg)
+		k := ChannelKey(cfg, channel)
 		n, _ := calls.LoadOrStore(k, new(atomic.Int64))
 		n.(*atomic.Int64).Add(1)
 		return &attack.Model{Key: attack.ModelKey{Device: cfg.App.Name}}, nil
@@ -125,7 +125,7 @@ func TestRegistryRaceHammer(t *testing.T) {
 func TestRegistryFailureNotCached(t *testing.T) {
 	boom := errors.New("collector exploded")
 	var attempts atomic.Int64
-	r := NewRegistry(1, 4, func(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
+	r := NewRegistry(1, 4, func(ctx context.Context, cfg victim.Config, _ string) (*attack.Model, error) {
 		if attempts.Add(1) == 1 {
 			return nil, boom
 		}
@@ -150,7 +150,7 @@ func TestRegistryFailureNotCached(t *testing.T) {
 func TestRegistryLookupMiss(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
-	r := NewRegistry(1, 4, func(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
+	r := NewRegistry(1, 4, func(ctx context.Context, cfg victim.Config, _ string) (*attack.Model, error) {
 		close(started)
 		<-release
 		return &attack.Model{}, nil
@@ -184,7 +184,7 @@ func TestRegistryLookupMiss(t *testing.T) {
 func TestRegistryGetCanceledWaiter(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
-	r := NewRegistry(1, 4, func(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
+	r := NewRegistry(1, 4, func(ctx context.Context, cfg victim.Config, _ string) (*attack.Model, error) {
 		close(started)
 		<-release
 		return &attack.Model{}, nil

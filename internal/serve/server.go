@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gpuleak/internal/attack"
+	"gpuleak/internal/channel"
 	"gpuleak/internal/exp"
 	"gpuleak/internal/fault"
 	"gpuleak/internal/kgsl"
@@ -168,10 +169,11 @@ func NewServer(opts Options) *Server {
 	if opts.BatchMax > 0 {
 		s.batcher = NewBatcher(opts.Shards, opts.BatchWindow, opts.BatchMax, opts.Metrics)
 	}
-	s.reg = NewRegistry(opts.Shards, opts.CachePerShard, func(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
+	s.reg = NewRegistry(opts.Shards, opts.CachePerShard, func(ctx context.Context, cfg victim.Config, ch string) (*attack.Model, error) {
 		return attack.CollectContext(ctx, cfg, attack.CollectOptions{
 			Repeats: opts.TrainRepeats,
 			Workers: opts.TrainWorkers,
+			Channel: ch,
 		})
 	}, opts.Metrics)
 	for i := 0; i < opts.Shards; i++ {
@@ -321,6 +323,8 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, channel.ErrUnknownChannel):
+		return http.StatusBadRequest
 	case errors.Is(err, ErrSessionNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrSessionConsumed):
@@ -393,7 +397,7 @@ func (s *Server) handleEavesdrop(w http.ResponseWriter, r *http.Request) {
 	ctx = obs.WithTraceContext(ctx, tc)
 
 	var resp EavesdropResponse
-	err = s.do(ctx, s.reg.ShardFor(Key(TrainConfig(scen.Cfg))), func(ctx context.Context) error {
+	err = s.do(ctx, s.reg.ShardFor(ChannelKey(TrainConfig(scen.Cfg), scen.Primary())), func(ctx context.Context) error {
 		var err error
 		resp, err = s.runEavesdrop(ctx, scen, req, nil, mLatencyEavesdrop)
 		return err
@@ -427,7 +431,7 @@ func (s *Server) handleEavesdrop(w http.ResponseWriter, r *http.Request) {
 // worker count.
 func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropRequest, emit func(attack.StreamEvent) error, latMetric string) (EavesdropResponse, error) {
 	trainCfg := TrainConfig(scen.Cfg)
-	shard := s.reg.ShardFor(Key(trainCfg))
+	shard := s.reg.ShardFor(ChannelKey(trainCfg, scen.Primary()))
 	tc, traced := obs.TraceContextFrom(ctx)
 	var tr *obs.Tracer
 	var span *obs.Span
@@ -448,9 +452,9 @@ func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropR
 	var m *attack.Model
 	var err error
 	if req.PretrainedOnly {
-		m, err = s.reg.Lookup(trainCfg)
+		m, err = s.reg.LookupChannel(trainCfg, scen.Primary())
 	} else {
-		m, err = s.reg.Get(ctx, trainCfg)
+		m, err = s.reg.GetChannel(ctx, trainCfg, scen.Primary())
 	}
 	if err != nil {
 		return EavesdropResponse{}, err
@@ -458,41 +462,74 @@ func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropR
 	sess := victim.New(scen.Cfg)
 	sess.Run(scen.Script())
 	endAt = sess.End
-	f, err := sess.Open()
-	if err != nil {
-		return EavesdropResponse{}, fmt.Errorf("serve: opening device file: %w", err)
-	}
-	atk := attack.New(m)
-	atk.Obs = tr
-	if s.batcher != nil {
-		// Route per-delta classification through the model shard's
-		// micro-batch queue. Verdicts are unchanged (the batcher's identity
-		// contract); only the dispatch is shared. The trace instant is
-		// emitted here — the request goroutine — never by the dispatcher,
-		// and carries no batch-composition fields, so traces stay
-		// byte-identical however requests happen to coalesce.
-		atk.Classify = func(m *attack.Model, at sim.Time, v trace.Vec) attack.Verdict {
-			verdict := s.batcher.Classify(shard, m, at, v)
-			if tr.Enabled() {
-				btc := reqTC.Child(evBatchClassify, at)
-				tr.Emit(at, evBatchClassify, append(btc.Fields(), obs.Int("shard", shard))...)
-			}
-			return verdict
+	var res *attack.Result
+	var fr *attack.FusionResult
+	switch {
+	case len(scen.Channels) >= 2:
+		// Multi-channel request: the fusion pipeline collects and infers
+		// per channel, then merges at decision level.
+		fr, err = s.fuseEavesdrop(ctx, scen, req, m, sess, tr)
+		if err != nil {
+			return EavesdropResponse{}, err
 		}
-	}
-	var df attack.DeviceFile = f
-	if scen.Fault.Name != "" {
-		// The request asked for a fault plane: wrap the device and arm
-		// the retry policy, so injected bursts degrade the result
-		// instead of failing the request. Fault-free requests keep the
-		// zero policy and the raw file — their responses stay
-		// byte-identical to the pre-fault-plane wire format.
-		df = fault.NewFile(f, scen.Fault, scen.FaultSeed)
-		atk.Retry = attack.DefaultRetryPolicy()
-	}
-	res, err := atk.EavesdropStreamContext(ctx, df, 0, sess.End, emit)
-	if err != nil {
-		return EavesdropResponse{}, err
+		res = fr.Fused
+	case scen.Primary() != "":
+		// Single non-default channel: open its probe through the channel
+		// plane and run the same streaming engine under the channel's
+		// cadence and error taxonomy.
+		ch, cerr := channel.Get(scen.Channels[0])
+		if cerr != nil {
+			return EavesdropResponse{}, cerr
+		}
+		probe, perr := ch.Open(sess)
+		if perr != nil {
+			return EavesdropResponse{}, fmt.Errorf("serve: opening channel %q: %w", ch.Name(), perr)
+		}
+		atk := attack.New(m)
+		atk.Obs = tr
+		atk.Interval = ch.Interval()
+		atk.Errors = ch.Taxonomy()
+		res, err = atk.EavesdropStreamContext(ctx, probe, 0, sess.End, emit)
+		if err != nil {
+			return EavesdropResponse{}, err
+		}
+	default:
+		f, ferr := sess.Open()
+		if ferr != nil {
+			return EavesdropResponse{}, fmt.Errorf("serve: opening device file: %w", ferr)
+		}
+		atk := attack.New(m)
+		atk.Obs = tr
+		if s.batcher != nil {
+			// Route per-delta classification through the model shard's
+			// micro-batch queue. Verdicts are unchanged (the batcher's identity
+			// contract); only the dispatch is shared. The trace instant is
+			// emitted here — the request goroutine — never by the dispatcher,
+			// and carries no batch-composition fields, so traces stay
+			// byte-identical however requests happen to coalesce.
+			atk.Classify = func(m *attack.Model, at sim.Time, v trace.Vec) attack.Verdict {
+				verdict := s.batcher.Classify(shard, m, at, v)
+				if tr.Enabled() {
+					btc := reqTC.Child(evBatchClassify, at)
+					tr.Emit(at, evBatchClassify, append(btc.Fields(), obs.Int("shard", shard))...)
+				}
+				return verdict
+			}
+		}
+		var df attack.DeviceFile = f
+		if scen.Fault.Name != "" {
+			// The request asked for a fault plane: wrap the device and arm
+			// the retry policy, so injected bursts degrade the result
+			// instead of failing the request. Fault-free requests keep the
+			// zero policy and the raw file — their responses stay
+			// byte-identical to the pre-fault-plane wire format.
+			df = fault.NewFile(f, scen.Fault, scen.FaultSeed)
+			atk.Retry = attack.DefaultRetryPolicy()
+		}
+		res, err = atk.EavesdropStreamContext(ctx, df, 0, sess.End, emit)
+		if err != nil {
+			return EavesdropResponse{}, err
+		}
 	}
 	if latMetric != "" {
 		exemplarTrace := ""
@@ -510,12 +547,100 @@ func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropR
 		EstimatedLength: res.EstimatedLength,
 		Stats:           res.Stats,
 		Degraded:        res.Degraded,
+		Channel:         scen.Primary(),
 	}
 	if res.Degraded {
 		rec := res.Recovery
 		resp.Recovery = &rec
 	}
+	if fr != nil {
+		resp.Fusion = &FusionInfo{
+			Channels:      append([]string(nil), scen.Channels...),
+			PrimaryText:   fr.Primary.Text,
+			SecondaryText: fr.Secondary.Text,
+			Recovered:     fr.Recovered,
+			Flipped:       fr.Flipped,
+		}
+	}
 	return resp, nil
+}
+
+// fuseEavesdrop runs the two-channel pipeline for a resolved
+// multi-channel request: collect a trace per channel, run the online
+// phase on each, then merge at decision level with attack.Fuse. pm is
+// the primary model (already fetched by runEavesdrop); the secondary
+// model comes from the registry under its own channel key. A requested
+// fault plane wraps the primary probe only — ResolveScenario guarantees
+// the primary is the KGSL channel in that case — with the default retry
+// policy armed, mirroring the single-channel degraded-mode contract.
+func (s *Server) fuseEavesdrop(ctx context.Context, scen Scenario, req EavesdropRequest, pm *attack.Model, sess *victim.Session, tr *obs.Tracer) (*attack.FusionResult, error) {
+	trainCfg := TrainConfig(scen.Cfg)
+	secName := channel.Canonical(scen.Channels[1])
+	var sm *attack.Model
+	var err error
+	if req.PretrainedOnly {
+		sm, err = s.reg.LookupChannel(trainCfg, secName)
+	} else {
+		sm, err = s.reg.GetChannel(ctx, trainCfg, secName)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pch, err := channel.Get(scen.Channels[0])
+	if err != nil {
+		return nil, err
+	}
+	sch, err := channel.Get(scen.Channels[1])
+	if err != nil {
+		return nil, err
+	}
+
+	pprobe, err := pch.Open(sess)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening channel %q: %w", pch.Name(), err)
+	}
+	retry := attack.RetryPolicy{}
+	if scen.Fault.Name != "" {
+		dev, ok := pprobe.(fault.Device)
+		if !ok {
+			return nil, fmt.Errorf("%w: channel %q cannot carry a fault profile", ErrBadRequest, pch.Name())
+		}
+		pprobe = fault.NewFile(dev, scen.Fault, scen.FaultSeed)
+		retry = attack.DefaultRetryPolicy()
+	}
+	pa := &attack.Attack{Models: []*attack.Model{pm}, Interval: pch.Interval(),
+		Errors: pch.Taxonomy(), Retry: retry, Obs: tr}
+	ps, err := attack.NewSamplerTaxonomy(pprobe, pch.Interval(), retry, pch.Taxonomy())
+	if err != nil {
+		return nil, err
+	}
+	ptr, err := ps.CollectContext(ctx, 0, sess.End)
+	if err != nil {
+		return nil, err
+	}
+	pres, err := pa.EavesdropTrace(ptr)
+	if err != nil {
+		return nil, err
+	}
+
+	sprobe, err := sch.Open(sess)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening channel %q: %w", sch.Name(), err)
+	}
+	sa := &attack.Attack{Models: []*attack.Model{sm}, Interval: sch.Interval(), Errors: sch.Taxonomy()}
+	ss, err := attack.NewSamplerTaxonomy(sprobe, sch.Interval(), attack.RetryPolicy{}, sch.Taxonomy())
+	if err != nil {
+		return nil, err
+	}
+	str, err := ss.CollectContext(ctx, 0, sess.End)
+	if err != nil {
+		return nil, err
+	}
+	sres, err := sa.EavesdropTrace(str)
+	if err != nil {
+		return nil, err
+	}
+	return attack.Fuse(pm, ptr.Deltas(), pres, sm, sres, pch.Interval(), attack.FusionOptions{}), nil
 }
 
 // handleTrain serves POST /v1/train: warm the registry for a
@@ -528,7 +653,8 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	}
 	scen, err := ResolveScenario(EavesdropRequest{
 		Device: req.Device, App: req.App, Keyboard: req.Keyboard,
-		Text: "warmup", // unused by training; satisfies scenario validation
+		Channel: req.Channel,
+		Text:    "warmup", // unused by training; satisfies scenario validation
 	})
 	if err != nil {
 		s.failRequest(w, mErrorsTrain, err)
@@ -544,15 +670,16 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 
 	var resp TrainResponse
 	trainCfg := TrainConfig(scen.Cfg)
-	err = s.do(ctx, s.reg.ShardFor(Key(trainCfg)), func(ctx context.Context) error {
-		_, cachedErr := s.reg.Lookup(trainCfg)
-		m, err := s.reg.Get(ctx, trainCfg)
+	chTag := scen.Primary()
+	err = s.do(ctx, s.reg.ShardFor(ChannelKey(trainCfg, chTag)), func(ctx context.Context) error {
+		_, cachedErr := s.reg.LookupChannel(trainCfg, chTag)
+		m, err := s.reg.GetChannel(ctx, trainCfg, chTag)
 		if err != nil {
 			return err
 		}
 		resp = TrainResponse{
 			Schema: Schema,
-			Model:  Key(trainCfg),
+			Model:  ChannelKey(trainCfg, chTag),
 			Keys:   len(m.Keys),
 			Noise:  len(m.Noise),
 			Cached: cachedErr == nil,
@@ -623,6 +750,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Inflight: s.Inflight(),
 		Shards:   s.reg.Shards(),
 		Sessions: resident,
+		Channels: channel.Names(),
 	}
 	status := http.StatusOK
 	if s.Draining() {

@@ -24,7 +24,7 @@ func blockedServer(t *testing.T, opts Options) (*Server, chan struct{}) {
 	release := make(chan struct{})
 	s := NewServer(opts)
 	s.reg = NewRegistry(s.opts.Shards, s.opts.CachePerShard,
-		func(ctx context.Context, cfg victim.Config) (*attack.Model, error) {
+		func(ctx context.Context, cfg victim.Config, _ string) (*attack.Model, error) {
 			select {
 			case <-release:
 				return &attack.Model{}, nil

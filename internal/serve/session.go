@@ -205,6 +205,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, mErrorsSession, err)
 		return
 	}
+	if len(scen.Channels) > 1 {
+		s.failRequest(w, mErrorsSession, fmt.Errorf(
+			"%w: streaming sessions are single-channel; use POST /v1/eavesdrop for fusion", ErrBadRequest))
+		return
+	}
 	if s.Draining() {
 		s.failRequest(w, mErrorsSession, ErrDraining)
 		return
@@ -285,7 +290,7 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		st.flush = f
 	}
 	pace := time.Duration(sess.req.PaceMS) * time.Millisecond
-	err = s.do(ctx, s.reg.ShardFor(Key(TrainConfig(sess.scen.Cfg))), func(ctx context.Context) error {
+	err = s.do(ctx, s.reg.ShardFor(ChannelKey(TrainConfig(sess.scen.Cfg), sess.scen.Primary())), func(ctx context.Context) error {
 		resp, err := s.runEavesdrop(ctx, sess.scen, sess.req, func(ev attack.StreamEvent) error {
 			if err := st.event(ev); err != nil {
 				return err

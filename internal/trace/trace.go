@@ -15,8 +15,21 @@ import (
 	"gpuleak/internal/sim"
 )
 
+// Width is the dimensionality of the shared feature space. Every side
+// channel maps its observations into this fixed-width container: the KGSL
+// channel fills all Width dimensions with the Table-1 counters, narrower
+// channels fill a leading prefix and leave the rest zero. Distance on a
+// dimension that is zero in both operands contributes nothing, so the
+// fixed width costs narrow channels no discriminative power.
+const Width = adreno.NumSelected
+
+// Raw is one raw counter read in the shared feature space, the uint64
+// counterpart of Vec. Channel probes return it from ReadSelected.
+type Raw = [Width]uint64
+
 // Vec is one observation in the attack's feature space: the per-counter
-// change between two reads, in adreno.Selected (Table-1) order.
+// change between two reads, in adreno.Selected (Table-1) order for the
+// KGSL channel, channel-defined for others.
 type Vec [adreno.NumSelected]float64
 
 // Add returns v + o.

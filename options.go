@@ -17,6 +17,7 @@ type apiOptions struct {
 	obs      *Tracer
 	interval Time
 	repeats  int
+	channels []string
 }
 
 func buildOptions(opts []Option) apiOptions {
@@ -45,6 +46,23 @@ func WithInterval(d Time) Option { return func(o *apiOptions) { o.interval = d }
 // (default 3 for TrainContext, matching Train).
 func WithRepeats(n int) Option { return func(o *apiOptions) { o.repeats = n } }
 
+// WithChannel selects the side channel an operation reads through, by
+// registry name (see Channels). The default is "kgsl", the paper's GPU
+// perf-counter channel; every pre-channel-plane call site behaves as if
+// this option never existed. Unknown names surface as ErrUnknownChannel
+// when the operation runs.
+func WithChannel(name string) Option {
+	return func(o *apiOptions) { o.channels = []string{name} }
+}
+
+// WithChannels selects several side channels at once for entry points
+// that support multi-channel operation (EavesdropSession): the first
+// name is the primary channel, the second the secondary whose detections
+// fuse into the primary's result. WithChannels(name) is WithChannel.
+func WithChannels(names ...string) Option {
+	return func(o *apiOptions) { o.channels = append([]string(nil), names...) }
+}
+
 // collect projects the options onto the offline phase's struct.
 func (o apiOptions) collect() CollectOptions {
 	return CollectOptions{
@@ -52,7 +70,16 @@ func (o apiOptions) collect() CollectOptions {
 		Interval: o.interval,
 		Workers:  o.workers,
 		Obs:      o.obs,
+		Channel:  o.channel(),
 	}
+}
+
+// channel resolves the single-channel selection ("" = default KGSL).
+func (o apiOptions) channel() string {
+	if len(o.channels) == 0 {
+		return ""
+	}
+	return o.channels[0]
 }
 
 // samplerInterval resolves the polling period for OpenSampler.

@@ -39,7 +39,13 @@
 #                   must show multi-channel fusion beating the best
 #                   single channel on the starve profile
 #                   (fusion.win > 0.01)
-#  11. bench      — two-part: a BLOCKING `benchcmp -metrics-only` gate
+#  11. arms       — defense-plane smoke: cmd/arms -check asserts the
+#                   tournament frontier covers every registered defense
+#                   and holds a worthwhile point (fused char-accuracy
+#                   drop >= 0.30 at <= 0.10 overhead), and the fresh
+#                   report must match the committed arms-report.json
+#                   byte for byte (the run is seeded and deterministic)
+#  12. bench      — two-part: a BLOCKING `benchcmp -metrics-only` gate
 #                   (fixed seed+quick metrics are deterministic, so any
 #                   drift vs BENCH_baseline.json is a behavior change;
 #                   fig25's wall-time metrics are skipped by design) plus
@@ -295,6 +301,27 @@ echo "    fusion.win=$fusion_win"
 if [ -n "${CI_ARTIFACTS:-}" ]; then
     mkdir -p "$CI_ARTIFACTS"
     cp "$smoke_dir/fusion.json" "$CI_ARTIFACTS/fusion.json"
+fi
+
+echo "==> arms smoke"
+# The defense plane's contracts, gated: the tournament must sweep every
+# registered defense over the full strength grid, report overheads in
+# [0, 1], and contain at least one worthwhile frontier point (a >=0.30
+# fused char-accuracy drop at <=0.10 overhead). The run is seeded and
+# bit-identical at any worker count, so the fresh report must also match
+# the committed arms-report.json — the canonical frontier EXPERIMENTS.md
+# quotes — byte for byte.
+go run ./cmd/arms -trials 3 -seed 1 -out "$smoke_dir/arms-report.json" -check
+if ! cmp -s arms-report.json "$smoke_dir/arms-report.json"; then
+    echo "arms smoke: fresh report drifted from the committed arms-report.json" >&2
+    echo "if intended, regenerate: go run ./cmd/arms -trials 3 -seed 1 -out arms-report.json" >&2
+    echo "and update the EXPERIMENTS.md arms-race table to match" >&2
+    diff arms-report.json "$smoke_dir/arms-report.json" >&2 || true
+    exit 1
+fi
+if [ -n "${CI_ARTIFACTS:-}" ]; then
+    mkdir -p "$CI_ARTIFACTS"
+    cp "$smoke_dir/arms-report.json" "$CI_ARTIFACTS/arms-report.json"
 fi
 
 echo "==> bench metrics gate (blocking)"

@@ -1,0 +1,145 @@
+// Command arms runs the attack-vs-defense tournament and emits a
+// machine-readable gpuleak-arms/v1 JSON report: every selected defense,
+// swept over strength levels, against the fused two-channel attack with
+// its full retry/resync machinery, scored as an accuracy-vs-overhead
+// frontier against the undefended baseline on the same victim sessions.
+//
+//	arms -defenses jitter,noise,quantize,ratelimit,rbac -strengths 0.25,0.5,1 -trials 5 -seed 1 > arms.json
+//
+// Defense names compose with "+" ("quantize+jitter" arms both). Reports
+// are bit-identical for a fixed seed at any -workers value — every
+// session, credential and defense seed derives from the cell and trial
+// indices, never from scheduling.
+//
+// With -check, arms additionally asserts the defense plane's contracts
+// and exits non-zero on violation: the frontier must cover at least
+// -min-defenses defenses at -min-strengths strengths each, overheads
+// must be reported within [0, 1], and at least one frontier point must
+// cut fused char accuracy by -min-drop while costing at most
+// -max-overhead — the "defenses are worth deploying" headline. CI runs
+// this as the arms-smoke gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"gpuleak/internal/defense"
+	"gpuleak/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("arms: ")
+
+	defenses := flag.String("defenses", strings.Join(defense.Names(), ","),
+		"comma-separated defenses to sweep (registry: "+strings.Join(defense.Names(), ",")+`; join with "+" to chain)`)
+	strengths := flag.String("strengths", "0.25,0.5,1", "comma-separated strength levels in (0, 1]")
+	trials := flag.Int("trials", 5, "victim sessions per (defense, strength) cell")
+	textLen := flag.Int("len", 8, "credential length")
+	seed := flag.Int64("seed", 1, "base seed for texts, victim sessions and defense randomness")
+	workers := flag.Int("workers", 0, "trial worker count (0 = one per CPU; never changes the report)")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	check := flag.Bool("check", false, "assert defense-plane contracts (frontier coverage, sane overheads, a worthwhile point)")
+	minDrop := flag.Float64("min-drop", 0.30, "-check: required fused char-accuracy drop at the worthwhile point")
+	maxOverhead := flag.Float64("max-overhead", 0.10, "-check: overhead budget for the worthwhile point")
+	minDefenses := flag.Int("min-defenses", 4, "-check: minimum defenses on the frontier")
+	minStrengths := flag.Int("min-strengths", 3, "-check: minimum strength levels per defense")
+	flag.Parse()
+
+	var names []string
+	for _, name := range strings.Split(*defenses, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	var grid []float64
+	for _, s := range strings.Split(*strengths, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || v > 1 {
+			log.Fatalf("bad strength %q: want a number in (0, 1]", s)
+		}
+		grid = append(grid, v)
+	}
+
+	rep, err := exp.RunArmsTournament(exp.Options{Seed: *seed, Workers: *workers},
+		names, grid, *trials, *textLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%-20s baseline char_acc=%.1f%% (kgsl=%.1f%% proc=%.1f%%)", "(undefended)",
+		100*rep.Baseline.CharAcc, 100*rep.Baseline.KGSLCharAcc, 100*rep.Baseline.ProcCharAcc)
+	for _, d := range rep.Defenses {
+		for _, pt := range d.Points {
+			log.Printf("%-20s s=%-4g overhead=%.3f char_acc=%.1f%% drop=%.1f%% blocked=%d/%d",
+				d.Defense, pt.Strength, pt.Overhead, 100*pt.CharAcc, 100*pt.Drop, pt.Blocked, rep.Trials)
+		}
+	}
+
+	if *check {
+		if err := checkReport(rep, *minDefenses, *minStrengths, *minDrop, *maxOverhead); err != nil {
+			log.Fatalf("check failed: %v", err)
+		}
+		log.Printf("check: ok")
+	}
+}
+
+// checkReport asserts the defense plane's contracts on a finished report.
+func checkReport(rep *exp.ArmsReport, minDefenses, minStrengths int, minDrop, maxOverhead float64) error {
+	if rep.Schema != exp.ArmsSchema {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, exp.ArmsSchema)
+	}
+	if len(rep.Defenses) < minDefenses {
+		return fmt.Errorf("frontier covers %d defenses, want >= %d", len(rep.Defenses), minDefenses)
+	}
+	if rep.Baseline.CharAcc <= 0 {
+		return fmt.Errorf("undefended baseline char accuracy is %.3f; the attack itself is broken", rep.Baseline.CharAcc)
+	}
+	worthwhile := false
+	for _, d := range rep.Defenses {
+		if len(d.Points) < minStrengths {
+			return fmt.Errorf("defense %q swept %d strengths, want >= %d", d.Defense, len(d.Points), minStrengths)
+		}
+		for _, pt := range d.Points {
+			if pt.Overhead < 0 || pt.Overhead > 1 {
+				return fmt.Errorf("defense %q at strength %g reports overhead %.3f outside [0, 1]",
+					d.Defense, pt.Strength, pt.Overhead)
+			}
+			if pt.Drop >= minDrop && pt.Overhead <= maxOverhead {
+				worthwhile = true
+			}
+		}
+	}
+	if !worthwhile {
+		return fmt.Errorf("no frontier point drops fused char accuracy by >= %.2f at overhead <= %.2f", minDrop, maxOverhead)
+	}
+	return nil
+}

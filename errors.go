@@ -3,6 +3,7 @@ package gpuleak
 import (
 	"gpuleak/internal/attack"
 	"gpuleak/internal/channel"
+	"gpuleak/internal/defense"
 	"gpuleak/internal/exp"
 	"gpuleak/internal/serve"
 )
@@ -42,6 +43,10 @@ var (
 	// registry (WithChannel/WithChannels, the "channel"/"channels" request
 	// fields). See Channels for the registered names (HTTP 400).
 	ErrUnknownChannel error = channel.ErrUnknownChannel
+	// ErrUnknownDefense reports a defense name absent from the registry
+	// (DefenseByName, the "defense" request field). See Defenses for the
+	// registered names (HTTP 400).
+	ErrUnknownDefense error = defense.ErrUnknownDefense
 )
 
 // Is makes *UnknownExperimentError match ErrUnknownExperiment under

@@ -1,6 +1,7 @@
 package gpuleak_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -87,6 +88,49 @@ func Example_faultInjection() {
 	}
 	fmt.Println(result.Text, result.Degraded, plane.Stats.Total() > 0)
 	// Output: hunter2 true true
+}
+
+// Arming a registered defense on the victim session: strength-1
+// quantization floors every exported counter onto a key-press-sized
+// grid, and the attacker's inference collapses while the platform pays
+// half a percent of overhead. cmd/arms sweeps every registered defense
+// over a strength grid this way and charts the frontier.
+func Example_defenseTournament() {
+	cfg := gpuleak.VictimConfig{Device: gpuleak.OnePlus8Pro, Seed: 1}
+	model, err := gpuleak.Train(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	session := gpuleak.NewVictim(cfg)
+	session.Run(gpuleak.TypeText("hunter2", 7))
+
+	pol, err := gpuleak.DefenseByName("quantize")
+	if err != nil {
+		panic(err)
+	}
+	inst, err := pol.Arm(session, 1, gpuleak.DefenseSeed(1, 0))
+	if err != nil {
+		panic(err)
+	}
+
+	file, err := session.Open()
+	if err != nil {
+		panic(err)
+	}
+	probe := inst.WrapProbe("kgsl", file)
+
+	atk := gpuleak.NewAttack(model)
+	atk.Retry = gpuleak.DefaultRetryPolicy()
+	result, err := atk.EavesdropProbe(context.Background(), probe, 0, session.End)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(gpuleak.Defenses())
+	fmt.Println(result.Text != "hunter2", inst.Overhead())
+	// Output:
+	// [jitter noise quantize ratelimit rbac]
+	// true 0.005
 }
 
 // The serving layer under injected faults: recovered runs answer 200

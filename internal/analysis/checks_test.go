@@ -190,6 +190,23 @@ func TestChannelRegScope(t *testing.T) {
 	}
 }
 
+func TestDefenseRegFixtures(t *testing.T) {
+	checkFixture(t, DefenseReg, "defensereg/bad", "gpuleak/internal/drbad")
+	checkFixture(t, DefenseReg, "defensereg/good", "gpuleak/internal/drgood")
+}
+
+func TestDefenseRegScope(t *testing.T) {
+	if DefenseReg.Applies("gpuleak/internal/defense") {
+		t.Error("defensereg must not apply to the registry package itself (chains are derived at resolve time)")
+	}
+	if !DefenseReg.Applies("gpuleak/internal/serve") {
+		t.Error("defensereg must apply to defense consumers")
+	}
+	if !DefenseReg.Applies("gpuleak/internal/exp") {
+		t.Error("defensereg must apply to the tournament layer")
+	}
+}
+
 // checkHotAllocFixture is checkFixture for the hotalloc analyzer, which
 // needs a driver Config carrying the fixture's own budget file and the
 // module root (it shells out to go build).

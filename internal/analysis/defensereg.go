@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DefenseReg enforces the defense plane's registration discipline, the
+// mirror of channelreg for defense policies. The defense registry is
+// only trustworthy if it is the one source of Policy values: every
+// implementation registers itself from its package's init function, and
+// every consumer resolves defenses at run time through defense.Get. Two
+// shapes break that:
+//
+//  1. defense.Register calls inside ordinary functions register lazily,
+//     so the advertised defense set (and the duplicate-name panic)
+//     depends on execution path instead of the import graph;
+//  2. constructing a Policy implementation outside an init function
+//     bypasses the registry entirely — callers would hold defenses the
+//     facade, /healthz and the arms tournament cannot see.
+//
+// The defense package itself is exempt: its tests exercise the registry
+// with throwaway implementations, and the chain combinator derives
+// composite policies at resolve time by design.
+var DefenseReg = &Analyzer{
+	Name:     "defensereg",
+	Category: "hygiene",
+	Doc:      "defenses must be registered via defense.Register from init and constructed only there; consumers resolve them through defense.Get",
+	Applies: func(pkgPath string) bool {
+		return !strings.HasSuffix(pkgPath, "internal/defense")
+	},
+	Run: runDefenseReg,
+}
+
+const defensePkgSuffix = "internal/defense"
+
+func isDefensePkg(pkg *types.Package) bool {
+	return pkg != nil && strings.HasSuffix(pkg.Path(), defensePkgSuffix)
+}
+
+// defenseIface resolves the defense.Policy interface type through the
+// package's imports; nil when the package never imports the defense
+// plane (nothing to check then — implementing the interface without
+// importing it is impossible, its methods mention defense.Instance).
+func defenseIface(p *Pass) *types.Interface {
+	for _, imp := range p.Pkg.Types.Imports() {
+		if !strings.HasSuffix(imp.Path(), defensePkgSuffix) {
+			continue
+		}
+		obj := imp.Scope().Lookup("Policy")
+		if obj == nil {
+			continue
+		}
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			return iface
+		}
+	}
+	return nil
+}
+
+func runDefenseReg(p *Pass) {
+	iface := defenseIface(p)
+	for _, file := range p.Pkg.Files {
+		// Package initialization is the only place registration (and hence
+		// construction) of a defense is legitimate: init function bodies
+		// and package-level var initializers, which run at the same time.
+		var initRanges []ast.Node
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.Name == "init" && d.Recv == nil && d.Body != nil {
+					initRanges = append(initRanges, d.Body)
+				}
+			case *ast.GenDecl:
+				if d.Tok == token.VAR {
+					initRanges = append(initRanges, d)
+				}
+			}
+		}
+		// Function literals defer execution past initialization even when
+		// declared inside an init range, so their bodies don't count.
+		var litBodies []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+				litBodies = append(litBodies, fl.Body)
+			}
+			return true
+		})
+		inInit := func(n ast.Node) bool {
+			for _, b := range litBodies {
+				if b.Pos() <= n.Pos() && n.End() <= b.End() {
+					return false
+				}
+			}
+			for _, b := range initRanges {
+				if b.Pos() <= n.Pos() && n.End() <= b.End() {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if fn := calledFunc(p, e); fn != nil &&
+					fn.Name() == "Register" && isDefensePkg(fn.Pkg()) && !inInit(e) {
+					p.Reportf(e.Pos(), "defense.Register outside an init function registers defenses lazily: register from the implementing package's init")
+				}
+			case *ast.CompositeLit:
+				if iface == nil || inInit(e) {
+					return true
+				}
+				t := p.TypeOf(e)
+				if t == nil {
+					return true
+				}
+				if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+					p.Reportf(e.Pos(), "constructing a defense.Policy implementation outside init bypasses the registry: resolve defenses with defense.Get")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func init() { Register(DefenseReg) }

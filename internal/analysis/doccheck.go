@@ -8,7 +8,7 @@ import (
 
 // DocCheck enforces godoc coverage on the repository's documented surface:
 // the gpuleak facade plus the packages whose doc comments external callers
-// and operators read (serve, obs, fault). Every exported top-level symbol
+// and operators read (serve, obs, fault, defense). Every exported symbol
 // needs a doc comment, functions and types must follow the godoc
 // convention of starting with the symbol's name (articles allowed for
 // types), and each package needs a package comment. Grouped const/var
@@ -20,7 +20,7 @@ import (
 var DocCheck = &Analyzer{
 	Name:     "doccheck",
 	Category: "docs",
-	Doc:      "exported symbols on the documented surface (facade, serve, obs, fault) must carry godoc comments",
+	Doc:      "exported symbols on the documented surface (facade, serve, obs, fault, defense) must carry godoc comments",
 	Applies:  isDocumentedSurface,
 	Run:      runDocCheck,
 }
@@ -31,6 +31,7 @@ var docSurface = []string{
 	"gpuleak/internal/serve",
 	"gpuleak/internal/obs",
 	"gpuleak/internal/fault",
+	"gpuleak/internal/defense",
 }
 
 func isDocumentedSurface(pkgPath string) bool {

@@ -20,6 +20,7 @@ var canonicalOrder = []string{
 	"obsevent",
 	"errtaxonomy",
 	"channelreg",
+	"defensereg",
 	"hotalloc",
 	"doccheck",
 }

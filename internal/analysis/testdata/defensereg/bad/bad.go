@@ -1,0 +1,58 @@
+// Package drbad seeds defensereg violations: lazy registration from
+// ordinary functions, direct construction of defense implementations
+// outside package initialization, and registration deferred into a
+// function literal. Lines marked WANT must be reported.
+package drbad
+
+import (
+	"gpuleak/internal/defense"
+	"gpuleak/internal/victim"
+)
+
+// vdef implements defense.Policy with value receivers.
+type vdef struct{ name string }
+
+func (d vdef) Name() string                     { return d.name }
+func (d vdef) Doc() string                      { return "fixture defense" }
+func (d vdef) Channels() []string               { return []string{"kgsl"} }
+func (d vdef) Overhead(strength float64) float64 { return 0 }
+func (d vdef) Arm(sess *victim.Session, strength float64, seed int64) (defense.Instance, error) {
+	return nil, nil
+}
+
+// pdef implements defense.Policy with pointer receivers.
+type pdef struct{ n int }
+
+func (d *pdef) Name() string                     { return "drbad.p" }
+func (d *pdef) Doc() string                      { return "fixture defense" }
+func (d *pdef) Channels() []string               { return []string{"kgsl"} }
+func (d *pdef) Overhead(strength float64) float64 { return 0 }
+func (d *pdef) Arm(sess *victim.Session, strength float64, seed int64) (defense.Instance, error) {
+	return nil, nil
+}
+
+// Package-level construction is initialization-time: allowed.
+var defd = vdef{name: "drbad.def"}
+
+func init() {
+	defense.Register(defd)
+}
+
+// Lazy registers on first call, so the advertised defense set depends on
+// the execution path instead of the import graph.
+func Lazy(name string) defense.Policy {
+	d := vdef{name: name} // WANT
+	defense.Register(d)   // WANT
+	return d
+}
+
+// Direct hands out a defense the registry has never seen.
+func Direct() defense.Policy {
+	return &pdef{n: 1} // WANT
+}
+
+// lazyhook defers registration into a function literal: the var runs at
+// initialization, the body does not.
+var lazyhook = func() {
+	defense.Register(defd) // WANT
+}

@@ -1,0 +1,35 @@
+// Package drgood follows the defense-plane registration discipline: the
+// implementation is constructed at package initialization (package-level
+// var and init body), registered from init, and consumers resolve
+// defenses through the registry.
+package drgood
+
+import (
+	"gpuleak/internal/defense"
+	"gpuleak/internal/victim"
+)
+
+// vdef is a minimal defense implementation.
+type vdef struct{ name string }
+
+func (d vdef) Name() string                     { return d.name }
+func (d vdef) Doc() string                      { return "fixture defense" }
+func (d vdef) Channels() []string               { return []string{"kgsl"} }
+func (d vdef) Overhead(strength float64) float64 { return 0 }
+func (d vdef) Arm(sess *victim.Session, strength float64, seed int64) (defense.Instance, error) {
+	return nil, nil
+}
+
+// Package-level construction runs at initialization: allowed.
+var def = vdef{name: "drgood.def"}
+
+func init() {
+	defense.Register(def)
+	// Constructing inline at the registration site is the canonical shape.
+	defense.Register(vdef{name: "drgood.alt"})
+}
+
+// Resolve goes through the registry, never constructing directly.
+func Resolve(name string) (defense.Policy, error) {
+	return defense.Get(name)
+}

@@ -1,0 +1,97 @@
+package defense
+
+import (
+	"sort"
+	"strings"
+
+	"gpuleak/internal/channel"
+	"gpuleak/internal/victim"
+)
+
+// Chain combines defenses into one policy: Arm arms every member on the
+// session in listed order at the shared strength, probe wraps compose
+// with the first member innermost (closest to the device), overheads
+// add (capped at 1), and the channel set is the union of the members'.
+// Get builds chains from "+"-joined names ("quantize+jitter"); the
+// combinator itself is not in the registry — chains are derived, the
+// atomic policies are the vocabulary.
+func Chain(members ...Policy) Policy {
+	return chain(members)
+}
+
+type chain []Policy
+
+func (c chain) Name() string {
+	names := make([]string, len(c))
+	for i, p := range c {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+func (c chain) Doc() string {
+	return "chain of " + c.Name() + ": members armed in listed order, first innermost"
+}
+
+func (c chain) Channels() []string {
+	seen := map[string]bool{}
+	for _, p := range c {
+		for _, ch := range p.Channels() {
+			seen[ch] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for ch := range seen {
+		out = append(out, ch)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Overhead implements Policy: defenses stack, so their cost estimates
+// add, saturating at the whole budget.
+func (c chain) Overhead(strength float64) float64 {
+	sum := 0.0
+	for _, p := range c {
+		sum += p.Overhead(strength)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// Arm implements Policy: every member arms on the session with a seed
+// derived from its position, so two members of the same kind would not
+// replay each other's randomness.
+func (c chain) Arm(sess *victim.Session, strength float64, seed int64) (Instance, error) {
+	if err := checkStrength(strength); err != nil {
+		return nil, err
+	}
+	if strength == 0 {
+		return passthrough{}, nil
+	}
+	insts := make([]Instance, len(c))
+	for i, p := range c {
+		inst, err := p.Arm(sess, strength, Seed(seed, i))
+		if err != nil {
+			return nil, err
+		}
+		insts[i] = inst
+	}
+	return chainInstance{insts: insts, overhead: c.Overhead(strength)}, nil
+}
+
+type chainInstance struct {
+	insts    []Instance
+	overhead float64
+}
+
+func (ci chainInstance) WrapProbe(channelName string, p channel.Probe) channel.Probe {
+	for _, inst := range ci.insts {
+		p = inst.WrapProbe(channelName, p)
+	}
+	return p
+}
+
+func (ci chainInstance) Overhead() float64 { return ci.overhead }

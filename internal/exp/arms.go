@@ -1,0 +1,365 @@
+package exp
+
+import (
+	"fmt"
+
+	"gpuleak/internal/attack"
+	"gpuleak/internal/channel"
+	"gpuleak/internal/defense"
+	"gpuleak/internal/input"
+	"gpuleak/internal/obs"
+	"gpuleak/internal/parallel"
+	"gpuleak/internal/proccount"
+	"gpuleak/internal/sim"
+	"gpuleak/internal/stats"
+	"gpuleak/internal/trace"
+	"gpuleak/internal/victim"
+)
+
+// The arms experiment runs the attack-vs-defense tournament: every
+// registered defense, swept over strength levels, against the attack at
+// full power — retry/resync machinery armed on both channels plus
+// decision-level kgsl+proccount fusion. Each (defense, strength) cell
+// replays the same victim sessions as the undefended baseline, so the
+// frontier reports paired accuracy drops, not sampling noise. The
+// deliverable is the accuracy-vs-overhead frontier (gpuleak-arms/v1):
+// which defenses buy how much attacker degradation at what platform
+// cost.
+
+// ArmsSchema identifies the tournament report's wire format.
+const ArmsSchema = "gpuleak-arms/v1"
+
+// ArmsReport is the gpuleak-arms/v1 JSON document cmd/arms emits: the
+// tournament inputs, the undefended fused baseline, and one frontier
+// point per (defense, strength). For a fixed seed the report is
+// bit-identical at any worker count.
+type ArmsReport struct {
+	Schema  string `json:"schema"`
+	Seed    int64  `json:"seed"`
+	Trials  int    `json:"trials"`
+	TextLen int    `json:"text_len"`
+	// Strengths is the sweep grid every defense was evaluated on.
+	Strengths []float64 `json:"strengths"`
+	// Baseline is the undefended fused attack on the same sessions
+	// (strength 0, overhead 0) — the frontier's origin.
+	Baseline ArmsPoint `json:"baseline"`
+	// Defenses holds one frontier row per defense, in requested order.
+	Defenses []ArmsDefenseResult `json:"defenses"`
+}
+
+// ArmsDefenseResult is one defense's row of the frontier.
+type ArmsDefenseResult struct {
+	// Defense is the registry name ("quantize", or a "+"-joined chain).
+	Defense string `json:"defense"`
+	// Doc is the defense's one-line mechanism description.
+	Doc string `json:"doc"`
+	// Channels is the defense's applicability set.
+	Channels []string `json:"channels"`
+	// Points are the sweep results, one per strength in report order.
+	Points []ArmsPoint `json:"points"`
+}
+
+// ArmsPoint is one (defense, strength) cell of the tournament.
+type ArmsPoint struct {
+	// Strength is the defense knob in [0, 1]; 0 marks the baseline.
+	Strength float64 `json:"strength"`
+	// Overhead is the defense's reported platform cost estimate.
+	Overhead float64 `json:"overhead"`
+	// CharAcc and TextAcc score the fused attacker against ground truth.
+	CharAcc float64 `json:"char_acc"`
+	TextAcc float64 `json:"text_acc"`
+	// KGSLCharAcc and ProcCharAcc score the single channels before
+	// fusion, locating which channel the defense actually hurt.
+	KGSLCharAcc float64 `json:"kgsl_char_acc"`
+	ProcCharAcc float64 `json:"proc_char_acc"`
+	// Drop is the fused char-accuracy reduction vs the baseline — the
+	// frontier's y-axis.
+	Drop float64 `json:"drop"`
+	// Blocked counts trials whose KGSL collection failed outright (the
+	// defense cost availability, not just accuracy); the fused attacker
+	// falls back to the surviving channel in those trials.
+	Blocked int `json:"blocked,omitempty"`
+	// Degraded counts trials where the sampler's recovery machinery
+	// fired; Recovered and Flipped total the fusion rule activations.
+	Degraded  int `json:"degraded,omitempty"`
+	Recovered int `json:"recovered,omitempty"`
+	Flipped   int `json:"flipped,omitempty"`
+}
+
+// armsTrial is one tournament session's outcome across both channels.
+type armsTrial struct {
+	kgsl, proc, fused, truth string
+	blocked                  bool
+	degraded                 bool
+	recovered, flipped       int
+}
+
+// armsOnce runs one victim session against one armed defense (nil pol =
+// undefended baseline): KGSL and proccount collected through the
+// defense's probe wraps with the default retry policy, inferred
+// independently, then fused at decision level. A failed KGSL collection
+// (or an all-masked trace the recognizer rejects) is a blocked trial —
+// the attacker degrades to the surviving channel instead of failing.
+func armsOnce(o Options, cfg victim.Config, pm, sm *attack.Model, sch channel.Channel,
+	text string, pol defense.Policy, strength float64, seed, defSeed int64, tr *obs.Tracer) (armsTrial, error) {
+
+	c := cfg
+	c.Seed = seed
+	sess := victim.New(c)
+	sess.Run(input.Typing(text, input.Volunteers[0], input.SpeedAny,
+		sim.NewRand(seed^0x5DEECE66D), 700*sim.Millisecond))
+	out := armsTrial{truth: sess.TypedText()}
+
+	var inst defense.Instance = nil
+	if pol != nil {
+		var err error
+		inst, err = pol.Arm(sess, strength, defSeed)
+		if err != nil {
+			return out, err
+		}
+	}
+
+	retry := attack.DefaultRetryPolicy()
+
+	// Primary: the KGSL channel through the defense's read path.
+	f, err := sess.Open()
+	if err != nil {
+		return out, err
+	}
+	var pprobe channel.Probe = f
+	if inst != nil {
+		pprobe = inst.WrapProbe(channel.DefaultName, pprobe)
+	}
+	pa := &attack.Attack{Models: []*attack.Model{pm}, Interval: attack.DefaultInterval,
+		Retry: retry, Obs: tr}
+	var pres *attack.Result
+	var ptr *trace.Trace
+	ps, err := attack.NewSamplerRetry(pprobe, attack.DefaultInterval, retry)
+	if err != nil {
+		out.blocked = true
+	} else {
+		ps.Obs = tr
+		t, err := ps.CollectContext(o.Context(), 0, sess.End)
+		if err != nil {
+			if o.Context().Err() != nil {
+				return out, err
+			}
+			out.blocked = true
+		} else {
+			out.degraded = ps.Stats.Degraded()
+			r, err := pa.EavesdropTrace(t)
+			if err != nil {
+				// A fully masked or starved trace the recognizer rejects:
+				// the channel went dark, not the experiment.
+				out.blocked = true
+			} else {
+				pres, ptr = r, t
+				out.kgsl = r.Text
+			}
+		}
+	}
+
+	// Secondary: the proccount channel, same retry machinery (defenses
+	// that cover it deny with its own taxonomy).
+	sf, err := sch.Open(sess)
+	if err != nil {
+		return out, err
+	}
+	var sprobe channel.Probe = sf
+	if inst != nil {
+		sprobe = inst.WrapProbe(sch.Name(), sprobe)
+	}
+	sa := &attack.Attack{Models: []*attack.Model{sm}, Interval: sch.Interval(),
+		Errors: sch.Taxonomy(), Retry: retry}
+	var sres *attack.Result
+	ss, err := attack.NewSamplerTaxonomy(sprobe, sch.Interval(), retry, sch.Taxonomy())
+	if err == nil {
+		str, err := ss.CollectContext(o.Context(), 0, sess.End)
+		if err != nil {
+			if o.Context().Err() != nil {
+				return out, err
+			}
+		} else if r, err := sa.EavesdropTrace(str); err == nil {
+			sres = r
+			out.proc = r.Text
+		}
+	}
+
+	// Decision-level fusion, degrading to whichever channel survived.
+	switch {
+	case pres != nil && sres != nil:
+		fr := attack.Fuse(pm, ptr.Deltas(), pres, sm, sres, attack.DefaultInterval, attack.FusionOptions{})
+		out.fused = fr.Fused.Text
+		out.recovered = fr.Recovered
+		out.flipped = fr.Flipped
+	case pres != nil:
+		out.fused = pres.Text
+	case sres != nil:
+		out.fused = sres.Text
+	}
+	return out, nil
+}
+
+// RunArmsTournament sweeps the named defenses over the strength grid,
+// trials victim sessions per cell plus the shared undefended baseline,
+// fanned out over o.Workers. Every session, credential and defense seed
+// derives from the cell and trial indices, so the report is
+// bit-identical at any worker count.
+func RunArmsTournament(o Options, names []string, strengths []float64, trials, textLen int) (*ArmsReport, error) {
+	if len(names) == 0 {
+		names = defense.Names()
+	}
+	if len(strengths) == 0 {
+		strengths = []float64{0.25, 0.5, 1}
+	}
+	pols := make([]defense.Policy, len(names))
+	for i, name := range names {
+		p, err := defense.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		pols[i] = p
+	}
+
+	cfg := DefaultConfig()
+	pm, err := TrainModelChannel(cfg, o.Workers, "")
+	if err != nil {
+		return nil, err
+	}
+	sm, err := TrainModelChannel(cfg, o.Workers, proccount.Name)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := channel.Get(proccount.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := sim.NewRand(o.Seed)
+	texts := make([]string, trials)
+	for i := range texts {
+		texts[i] = input.RandomText(rng, LowerDigits, textLen)
+	}
+
+	// Work items: the shared baseline block first, then one block per
+	// (defense, strength) cell. Victim seeds depend only on the trial
+	// index, so every cell replays the same sessions as the baseline.
+	cells := len(pols) * len(strengths)
+	n := (1 + cells) * trials
+	var children []*obs.Tracer
+	if o.Obs != nil {
+		children = make([]*obs.Tracer, n)
+		for i := range children {
+			children[i] = o.Obs.Child(fmt.Sprintf("arms/%04d", i))
+		}
+	}
+	slots := make([]armsTrial, n)
+	err = parallel.ForEachCtx(o.Context(), o.Workers, n, func(i int) error {
+		trial := i % trials
+		cell := i/trials - 1 // -1 is the baseline block
+		var pol defense.Policy
+		strength := 0.0
+		if cell >= 0 {
+			pol = pols[cell/len(strengths)]
+			strength = strengths[cell%len(strengths)]
+		}
+		var tr *obs.Tracer
+		if children != nil {
+			tr = children[i]
+		}
+		t, err := armsOnce(o, cfg, pm, sm, sch, texts[trial], pol, strength,
+			o.Seed+int64(trial)*101, defense.Seed(o.Seed, i), tr)
+		if err != nil {
+			return err
+		}
+		slots[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	score := func(block int, strength, overhead, baseChar float64) ArmsPoint {
+		var kgsl, proc, fused, truth []string
+		pt := ArmsPoint{Strength: strength, Overhead: overhead}
+		for trial := 0; trial < trials; trial++ {
+			t := slots[block*trials+trial]
+			kgsl = append(kgsl, t.kgsl)
+			proc = append(proc, t.proc)
+			fused = append(fused, t.fused)
+			truth = append(truth, t.truth)
+			if t.blocked {
+				pt.Blocked++
+			}
+			if t.degraded {
+				pt.Degraded++
+			}
+			pt.Recovered += t.recovered
+			pt.Flipped += t.flipped
+		}
+		pt.CharAcc = stats.CharAccuracy(fused, truth)
+		pt.TextAcc = stats.TextAccuracy(fused, truth)
+		pt.KGSLCharAcc = stats.CharAccuracy(kgsl, truth)
+		pt.ProcCharAcc = stats.CharAccuracy(proc, truth)
+		pt.Drop = baseChar - pt.CharAcc
+		return pt
+	}
+
+	rep := &ArmsReport{
+		Schema: ArmsSchema, Seed: o.Seed, Trials: trials, TextLen: textLen,
+		Strengths: append([]float64(nil), strengths...),
+	}
+	rep.Baseline = score(0, 0, 0, 0)
+	rep.Baseline.Drop = 0
+	for di, pol := range pols {
+		row := ArmsDefenseResult{
+			Defense:  pol.Name(),
+			Doc:      pol.Doc(),
+			Channels: pol.Channels(),
+		}
+		for si, s := range strengths {
+			block := 1 + di*len(strengths) + si
+			row.Points = append(row.Points, score(block, s, pol.Overhead(s), rep.Baseline.CharAcc))
+		}
+		rep.Defenses = append(rep.Defenses, row)
+	}
+	return rep, nil
+}
+
+// RunArms is the registry entry point: the quick-scale tournament over
+// every registered defense. The arms.best_drop metric is the largest
+// fused char-accuracy reduction bought at ≤ 10% reported overhead — the
+// headline the CI arms smoke gates on through cmd/arms -check.
+func RunArms(o Options) (*Result, error) {
+	rep, err := RunArmsTournament(o, nil, nil, o.Trials(30), 8)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("arms", "Attack-vs-defense tournament: accuracy-vs-overhead frontier",
+		"defense", "strength", "overhead", "fused char", "kgsl char", "proc char", "drop", "blocked")
+	res.Table.AddRow("(baseline)", "0", "0",
+		fmt.Sprintf("%.1f%%", 100*rep.Baseline.CharAcc),
+		fmt.Sprintf("%.1f%%", 100*rep.Baseline.KGSLCharAcc),
+		fmt.Sprintf("%.1f%%", 100*rep.Baseline.ProcCharAcc),
+		"", fmt.Sprintf("%d", rep.Baseline.Blocked))
+	res.Metrics["arms.char_acc.baseline"] = rep.Baseline.CharAcc
+	best := 0.0
+	for _, d := range rep.Defenses {
+		for _, pt := range d.Points {
+			res.Table.AddRow(d.Defense,
+				fmt.Sprintf("%g", pt.Strength),
+				fmt.Sprintf("%.3f", pt.Overhead),
+				fmt.Sprintf("%.1f%%", 100*pt.CharAcc),
+				fmt.Sprintf("%.1f%%", 100*pt.KGSLCharAcc),
+				fmt.Sprintf("%.1f%%", 100*pt.ProcCharAcc),
+				fmt.Sprintf("%+.1f%%", -100*pt.Drop),
+				fmt.Sprintf("%d", pt.Blocked))
+			res.Metrics[fmt.Sprintf("arms.char_acc.%s.%g", d.Defense, pt.Strength)] = pt.CharAcc
+			if pt.Overhead <= 0.10 && pt.Drop > best {
+				best = pt.Drop
+			}
+		}
+	}
+	res.Metrics["arms.best_drop"] = best
+	return res, nil
+}

@@ -56,6 +56,7 @@ var All = []Experiment{
 	{"ablation-greedy", "whole-trace segmentation trades timeliness for accuracy (§5.1)", RunAblationGreedyVsOffline},
 	{"chaos", "injected device faults degrade accuracy monotonically, never availability", RunChaos},
 	{"fusion", "multi-channel fusion beats the best single channel under CPU starvation", RunFusion},
+	{"arms", "defense frontier: composable defenses trade attacker accuracy against platform overhead", RunArms},
 }
 
 // ByID finds an experiment.

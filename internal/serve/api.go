@@ -23,6 +23,7 @@ import (
 	"gpuleak/internal/android"
 	"gpuleak/internal/attack"
 	"gpuleak/internal/channel"
+	"gpuleak/internal/defense"
 	"gpuleak/internal/fault"
 	"gpuleak/internal/input"
 	"gpuleak/internal/keyboard"
@@ -79,6 +80,21 @@ type EavesdropRequest struct {
 	// into the primary's result (at most two). It overrides Channel.
 	// Streaming sessions are single-channel; fusion is one-shot only.
 	Channels []string `json:"channels,omitempty"`
+	// Defense names a registered defense policy (or a "+"-joined chain)
+	// to arm on the victim device before sampling, mirroring fault_profile
+	// on the other side of the arms race; empty arms nothing. GET /healthz
+	// advertises the registered names; unknown ones answer 400. With a
+	// defense armed, the sampler runs with the default retry policy so
+	// rate-limit denials degrade the result instead of failing the request.
+	Defense string `json:"defense,omitempty"`
+	// DefenseStrength is the armed defense's knob in [0, 1]; 0 (the
+	// default) arms a passthrough, keeping the response byte-identical to
+	// an undefended run.
+	DefenseStrength float64 `json:"defense_strength,omitempty"`
+	// DefenseSeed seeds the defense's randomness (noise walks, jitter); 0
+	// derives it from Seed, so the same request always faces the same
+	// bit-identical defense.
+	DefenseSeed int64 `json:"defense_seed,omitempty"`
 	// PaceMS, honored only by streaming sessions, inserts a wall-clock
 	// pause of this many milliseconds after every key/retract frame —
 	// a demo/debug knob that makes the stream observable in real time and
@@ -189,6 +205,8 @@ type HealthResponse struct {
 	Sessions int `json:"sessions"`
 	// Channels lists the registered side-channel names.
 	Channels []string `json:"channels"`
+	// Defenses lists the registered defense policy names.
+	Defenses []string `json:"defenses"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx reply.
@@ -270,6 +288,11 @@ type Scenario struct {
 	// Channels are the resolved channel registry names, primary first;
 	// empty means the default single-channel KGSL run.
 	Channels []string
+	// Defense is the resolved defense policy to arm on the session (nil:
+	// none), DefenseStrength its knob and DefenseSeed its randomness seed.
+	Defense         defense.Policy
+	DefenseStrength float64
+	DefenseSeed     int64
 }
 
 // Primary returns the scenario's primary channel in canonical model-key
@@ -350,6 +373,24 @@ func ResolveScenario(req EavesdropRequest) (Scenario, error) {
 		if scen.Primary() != "" {
 			return Scenario{}, fmt.Errorf("%w: fault profiles model the KGSL ioctl path; primary channel %q cannot carry one",
 				ErrBadRequest, scen.Channels[0])
+		}
+	}
+	if req.Defense != "" {
+		p, err := defense.Get(req.Defense)
+		if err != nil {
+			// The error matches defense.ErrUnknownDefense, which statusFor
+			// maps onto 400.
+			return Scenario{}, fmt.Errorf("resolving request defense: %w", err)
+		}
+		if req.DefenseStrength < 0 || req.DefenseStrength > 1 {
+			return Scenario{}, fmt.Errorf("%w: defense strength %g outside [0, 1]",
+				ErrBadRequest, req.DefenseStrength)
+		}
+		scen.Defense = p
+		scen.DefenseStrength = req.DefenseStrength
+		scen.DefenseSeed = req.DefenseSeed
+		if scen.DefenseSeed == 0 {
+			scen.DefenseSeed = defense.Seed(req.Seed, 0)
 		}
 	}
 	return scen, nil

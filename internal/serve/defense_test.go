@@ -1,0 +1,108 @@
+package serve
+
+// Tests of the HTTP defense surface: the unknown-defense 400 contract,
+// strength validation, healthz advertising, the zero-strength
+// passthrough identity, and a defended run degrading instead of failing.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpuleak/internal/defense"
+)
+
+func TestDefenseUnknownAnswers400(t *testing.T) {
+	s := NewServer(Options{Shards: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"text":"abc","seed":1,"defense":"scramble"}`,
+		`{"text":"abc","seed":1,"defense":"quantize+scramble"}`,
+	} {
+		resp := postJSON(t, ts.URL+"/v1/eavesdrop", body)
+		er := decodeBody[ErrorResponse](t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400 (%s)", body, resp.StatusCode, er.Error)
+		}
+		if !strings.Contains(er.Error, "unknown defense") {
+			t.Errorf("body %s: error %q does not name the unknown defense", body, er.Error)
+		}
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/eavesdrop", `{"text":"abc","seed":1,"defense":"quantize","defense_strength":1.5}`)
+	er := decodeBody[ErrorResponse](t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range strength: status %d, want 400 (%s)", resp.StatusCode, er.Error)
+	}
+}
+
+func TestHealthzAdvertisesDefenses(t *testing.T) {
+	s := NewServer(Options{Shards: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := decodeBody[HealthResponse](t, resp)
+	found := map[string]bool{}
+	for _, name := range hr.Defenses {
+		found[name] = true
+	}
+	for _, want := range defense.Names() {
+		if !found[want] {
+			t.Errorf("healthz defenses %v missing registered defense %q", hr.Defenses, want)
+		}
+	}
+}
+
+func TestEavesdropDefenseZeroStrengthIsPassthrough(t *testing.T) {
+	s := NewServer(Options{Shards: 1, TrainWorkers: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	read := func(body string) string {
+		resp := postJSON(t, ts.URL+"/v1/eavesdrop", body)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("body %s: status %d", body, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	undefended := read(`{"text":"abc123","seed":5}`)
+	zero := read(`{"text":"abc123","seed":5,"defense":"noise","defense_strength":0}`)
+	if undefended != zero {
+		t.Errorf("zero-strength defense changed the response:\nundefended: %s\nzero:       %s", undefended, zero)
+	}
+}
+
+func TestEavesdropDefendedDegradesNotFails(t *testing.T) {
+	s := NewServer(Options{Shards: 1, TrainWorkers: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Full-strength rate limiting starves the sampler to a few reads per
+	// second: the retry machinery must absorb the denials and answer 200
+	// with a (likely wrong) result, never a 5xx.
+	resp := postJSON(t, ts.URL+"/v1/eavesdrop", `{"text":"abc123","seed":5,"defense":"ratelimit","defense_strength":1}`)
+	if resp.StatusCode != http.StatusOK {
+		er := decodeBody[ErrorResponse](t, resp)
+		t.Fatalf("status %d: %s", resp.StatusCode, er.Error)
+	}
+	er := decodeBody[EavesdropResponse](t, resp)
+	if !er.Degraded {
+		t.Error("a rate-limited run must report degraded: the sampler dropped starved ticks")
+	}
+	if er.Text == er.Truth {
+		t.Logf("note: defended run still inferred the exact credential %q", er.Truth)
+	}
+}

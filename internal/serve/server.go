@@ -11,6 +11,7 @@ import (
 
 	"gpuleak/internal/attack"
 	"gpuleak/internal/channel"
+	"gpuleak/internal/defense"
 	"gpuleak/internal/exp"
 	"gpuleak/internal/fault"
 	"gpuleak/internal/kgsl"
@@ -325,6 +326,8 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, channel.ErrUnknownChannel):
 		return http.StatusBadRequest
+	case errors.Is(err, defense.ErrUnknownDefense), errors.Is(err, defense.ErrStrength):
+		return http.StatusBadRequest
 	case errors.Is(err, ErrSessionNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrSessionConsumed):
@@ -462,13 +465,25 @@ func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropR
 	sess := victim.New(scen.Cfg)
 	sess.Run(scen.Script())
 	endAt = sess.End
+	// A requested defense arms on the session before any probe opens:
+	// device hooks install here, probe wraps apply per channel below, and
+	// the sampler runs with the default retry policy so defense denials
+	// (rate-limit busy errors) degrade the result instead of failing the
+	// request — the same contract the fault plane set.
+	var inst defense.Instance
+	if scen.Defense != nil {
+		inst, err = scen.Defense.Arm(sess, scen.DefenseStrength, scen.DefenseSeed)
+		if err != nil {
+			return EavesdropResponse{}, err
+		}
+	}
 	var res *attack.Result
 	var fr *attack.FusionResult
 	switch {
 	case len(scen.Channels) >= 2:
 		// Multi-channel request: the fusion pipeline collects and infers
 		// per channel, then merges at decision level.
-		fr, err = s.fuseEavesdrop(ctx, scen, req, m, sess, tr)
+		fr, err = s.fuseEavesdrop(ctx, scen, req, m, sess, inst, tr)
 		if err != nil {
 			return EavesdropResponse{}, err
 		}
@@ -489,6 +504,10 @@ func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropR
 		atk.Obs = tr
 		atk.Interval = ch.Interval()
 		atk.Errors = ch.Taxonomy()
+		if inst != nil {
+			probe = inst.WrapProbe(ch.Name(), probe)
+			atk.Retry = attack.DefaultRetryPolicy()
+		}
 		res, err = atk.EavesdropStreamContext(ctx, probe, 0, sess.End, emit)
 		if err != nil {
 			return EavesdropResponse{}, err
@@ -526,7 +545,16 @@ func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropR
 			df = fault.NewFile(f, scen.Fault, scen.FaultSeed)
 			atk.Retry = attack.DefaultRetryPolicy()
 		}
-		res, err = atk.EavesdropStreamContext(ctx, df, 0, sess.End, emit)
+		var probe attack.Probe = df
+		if inst != nil {
+			// The defense filter sits above the ioctl path: a rate-limit
+			// denial happens before any (possibly faulted) device read.
+			// Wrappers forward TickFault, so a fault plane underneath keeps
+			// its clock schedule.
+			probe = inst.WrapProbe(channel.DefaultName, df)
+			atk.Retry = attack.DefaultRetryPolicy()
+		}
+		res, err = atk.EavesdropStreamContext(ctx, probe, 0, sess.End, emit)
 		if err != nil {
 			return EavesdropResponse{}, err
 		}
@@ -572,8 +600,12 @@ func (s *Server) runEavesdrop(ctx context.Context, scen Scenario, req EavesdropR
 // model comes from the registry under its own channel key. A requested
 // fault plane wraps the primary probe only — ResolveScenario guarantees
 // the primary is the KGSL channel in that case — with the default retry
-// policy armed, mirroring the single-channel degraded-mode contract.
-func (s *Server) fuseEavesdrop(ctx context.Context, scen Scenario, req EavesdropRequest, pm *attack.Model, sess *victim.Session, tr *obs.Tracer) (*attack.FusionResult, error) {
+// policy armed, mirroring the single-channel degraded-mode contract. An
+// armed defense instance (inst non-nil) wraps both probes through its
+// per-channel applicability set and likewise arms the retry policy, so
+// a defense covering only one channel leaves the other's read path — and
+// the fused attacker's view of it — untouched.
+func (s *Server) fuseEavesdrop(ctx context.Context, scen Scenario, req EavesdropRequest, pm *attack.Model, sess *victim.Session, inst defense.Instance, tr *obs.Tracer) (*attack.FusionResult, error) {
 	trainCfg := TrainConfig(scen.Cfg)
 	secName := channel.Canonical(scen.Channels[1])
 	var sm *attack.Model
@@ -608,6 +640,10 @@ func (s *Server) fuseEavesdrop(ctx context.Context, scen Scenario, req Eavesdrop
 		pprobe = fault.NewFile(dev, scen.Fault, scen.FaultSeed)
 		retry = attack.DefaultRetryPolicy()
 	}
+	if inst != nil {
+		pprobe = inst.WrapProbe(pch.Name(), pprobe)
+		retry = attack.DefaultRetryPolicy()
+	}
 	pa := &attack.Attack{Models: []*attack.Model{pm}, Interval: pch.Interval(),
 		Errors: pch.Taxonomy(), Retry: retry, Obs: tr}
 	ps, err := attack.NewSamplerTaxonomy(pprobe, pch.Interval(), retry, pch.Taxonomy())
@@ -627,8 +663,13 @@ func (s *Server) fuseEavesdrop(ctx context.Context, scen Scenario, req Eavesdrop
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening channel %q: %w", sch.Name(), err)
 	}
-	sa := &attack.Attack{Models: []*attack.Model{sm}, Interval: sch.Interval(), Errors: sch.Taxonomy()}
-	ss, err := attack.NewSamplerTaxonomy(sprobe, sch.Interval(), attack.RetryPolicy{}, sch.Taxonomy())
+	sretry := attack.RetryPolicy{}
+	if inst != nil {
+		sprobe = inst.WrapProbe(sch.Name(), sprobe)
+		sretry = attack.DefaultRetryPolicy()
+	}
+	sa := &attack.Attack{Models: []*attack.Model{sm}, Interval: sch.Interval(), Errors: sch.Taxonomy(), Retry: sretry}
+	ss, err := attack.NewSamplerTaxonomy(sprobe, sch.Interval(), sretry, sch.Taxonomy())
 	if err != nil {
 		return nil, err
 	}
@@ -751,6 +792,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Shards:   s.reg.Shards(),
 		Sessions: resident,
 		Channels: channel.Names(),
+		Defenses: defense.Names(),
 	}
 	status := http.StatusOK
 	if s.Draining() {
